@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table/figure via its experiment runner (quick
+windows), times it with pytest-benchmark, prints the rendered rows (visible
+with ``pytest -s`` or in the benchmark report), and asserts the paper-shape
+invariants that the reproduction is expected to hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment runner once under the benchmark timer.
+
+    Simulation experiments are seconds-long, so a single round is the right
+    granularity; pytest-benchmark records wall time per experiment.
+    """
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.rendered)
+        if result.notes:
+            for k, v in result.notes.items():
+                print(f"note {k}: {v}")
+        return result
+
+    return _run

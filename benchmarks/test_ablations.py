@@ -1,0 +1,58 @@
+"""Benches for the design-choice ablations DESIGN.md calls out.
+
+* token latency -- Sec. V-B's "token transfer consumes a few extra cycles",
+* antenna placement -- Sec. III-A's corner-vs-centre load balance argument,
+* SDM reuse -- Sec. V-B's frequency reuse on non-intersecting paths,
+* radix vs hops -- Sec. V-C's closing tradeoff.
+"""
+
+from repro.analysis import (
+    ablation_antenna_placement,
+    ablation_radix_vs_hops,
+    ablation_sdm_channels,
+    ablation_token_latency,
+)
+
+
+def test_token_latency(run_experiment):
+    result = run_experiment(ablation_token_latency, quick=True)
+    by_token = {row[0]: row for row in result.rows}
+    # Slower tokens can only hurt: latency monotone-ish, throughput falls
+    # clearly between the extremes.
+    assert by_token[20][1] > by_token[0][1]
+    assert by_token[20][2] < by_token[0][2]
+
+
+def test_antenna_placement(run_experiment):
+    result = run_experiment(ablation_antenna_placement, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    corners, center = rows["corners"], rows["center"]
+    # Centre placement concentrates activity: its hottest 2x2-tile window
+    # absorbs clearly more of the cluster's work (thermal imbalance), which
+    # is exactly why Sec. III-A isolates the transceivers to the corners.
+    assert center[3] > corners[3] * 1.15
+    # Throughput doesn't improve in exchange.
+    assert center[2] <= corners[2] * 1.05
+
+
+def test_sdm_channels(run_experiment):
+    result = run_experiment(ablation_sdm_channels)
+    reused = {row[0]: row[2] for row in result.rows}
+    # Configuration 4 (CMOS long+medium) needs 8 CMOS channels but the
+    # ideal plan has 4 -> at least 4 SDM-reused carriers (Sec. V-B).
+    assert reused[4] >= 4
+    # Configuration 2 splits across three technologies; BiCMOS (2 rows,
+    # ideal) forces some reuse but less than config 4.
+    assert reused[2] < reused[4]
+    # The floorplan admits enough non-intersecting path groups to realise
+    # the reuse (at least 4 disjoint groups exist).
+    assert result.notes["n_groups"] >= 3
+
+
+def test_radix_vs_hops(run_experiment):
+    result = run_experiment(ablation_radix_vs_hops, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    own, wc = rows["OWN"], rows["wCMESH"]
+    # OWN: higher radix, fewer hops; wCMESH: the reverse (Sec. V-C).
+    assert own[1] > wc[1]
+    assert own[2] < wc[2]

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 3 (OOK link budget at 32 Gbps / 90 GHz).
+
+Paper anchors: ">= 4 dBm for a maximum distance of 50 mm" with isotropic
+antennas; required power falls with antenna directivity and grows ~20 dB
+per distance decade (free-space d^2 law).
+"""
+
+from repro.analysis import fig3_link_budget
+
+
+def test_fig3(run_experiment):
+    result = run_experiment(fig3_link_budget)
+
+    # The 50 mm / 0 dBi anchor: >= 4 dBm, and not absurdly above it.
+    anchor = result.notes["anchor_50mm_0dBi_dbm"]
+    assert 4.0 <= anchor <= 5.0
+
+    # Monotone in distance for every directivity column.
+    for col in (1, 2, 3):
+        series = [row[col] for row in result.rows]
+        assert series == sorted(series)
+
+    # Directivity helps: at every distance the 10 dBi column is 20 dB below
+    # the isotropic one (gain applied at both ends).
+    for row in result.rows:
+        assert abs((row[1] - row[3]) - 20.0) < 1e-6
+
+    # Friis slope: 5 mm -> 50 mm is one decade -> +20 dB.
+    d5 = next(r for r in result.rows if r[0] == 5.0)
+    d50 = next(r for r in result.rows if r[0] == 50.0)
+    assert abs((d50[1] - d5[1]) - 20.0) < 0.1

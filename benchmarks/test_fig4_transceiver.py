@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 4 (oscillator / PA / LNA behavioural curves).
+
+Paper anchors: Colpitts oscillation at 90 GHz with ~-86 dBc/Hz phase noise
+at 1 MHz offset (Fig. 4a); PA peak gain 3.5 dB at 90 GHz, ~20 GHz bandwidth
+above 2 dB, output P1dB ~5 dBm, 14 mW DC at 1 V (Fig. 4b); LNA gain 10 dB
+around 90 GHz (Fig. 4c).
+"""
+
+from repro.analysis import fig4_transceiver
+
+
+def test_fig4(run_experiment):
+    result = run_experiment(fig4_transceiver)
+    notes = result.notes
+
+    assert abs(notes["osc_freq_ghz"] - 90.0) < 0.5
+    assert -88.0 <= notes["osc_pn_1mhz_dbc"] <= -84.0
+    assert 4.5 <= notes["pa_p1db_dbm"] <= 5.7
+    assert notes["pa_dc_mw"] == 14.0
+    assert abs(notes["lna_peak_gain_db"] - 10.0) < 0.1
+
+    # PA band shape: peak at 90, >= 2 dB within +-10 GHz, below 2 dB well
+    # outside the band.
+    by_freq = {row[0]: row for row in result.rows}
+    assert abs(by_freq[90.0][1] - 3.5) < 0.05
+    assert by_freq[80.0][1] >= 1.45 and by_freq[100.0][1] >= 1.45
+    assert by_freq[70.0][1] < 2.0
+
+    # LNA: peak 10 dB at 90 GHz, still within 3 dB at +-15 GHz (wideband).
+    assert abs(by_freq[90.0][2] - 10.0) < 0.05
+    assert by_freq[75.0][2] >= 6.9
+    assert by_freq[105.0][2] >= 6.9

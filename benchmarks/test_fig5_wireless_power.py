@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 5 (average wireless link power per configuration).
+
+Paper anchors: configurations 1 and 3 (SiGe for long range) consume
+significantly more under both scenarios; under scenario 1 configuration 2
+cuts configuration 1's power by ~60 % and configuration 4 by ~80 %; under
+scenario 2 by ~47 % and ~57 % respectively. Our reconstruction lands within
+a few points on scenario 1 and overshoots cfg4's scenario-2 reduction
+(documented in EXPERIMENTS.md).
+"""
+
+from repro.analysis import fig5_wireless_power
+
+
+def test_fig5(run_experiment):
+    result = run_experiment(fig5_wireless_power, quick=True)
+    power = {(row[0], row[1]): row[2] for row in result.rows}
+
+    for scenario in (1, 2):
+        # SiGe-long configs dominate; config 4 is the cheapest.
+        assert power[(scenario, 1)] > power[(scenario, 2)] > power[(scenario, 4)]
+        assert power[(scenario, 3)] >= power[(scenario, 1)] * 0.95
+
+    # Scenario-1 reductions near the paper's 60 % / 80 %.
+    assert 45.0 <= result.notes["s1_reduction_cfg2_pct"] <= 70.0
+    assert 70.0 <= result.notes["s1_reduction_cfg4_pct"] <= 88.0
+    # Scenario-2 reductions: cfg2 near the paper's 47 %.
+    assert 35.0 <= result.notes["s2_reduction_cfg2_pct"] <= 58.0

@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 6 (256-core power breakdown, uniform traffic).
+
+Paper anchors: OptXB consumes the least power; p-Clos slightly more than
+OptXB; OWN configuration 4 is the cheapest OWN variant and sits between the
+photonic networks and the electrical/wireless hybrids; wCMESH exceeds OWN;
+CMESH consumes the most, with "the majority of the power dissipated in the
+routers", and OWN's savings over CMESH are "in excess of 30%".
+"""
+
+from repro.analysis import fig6_power_256
+
+
+def test_fig6(run_experiment):
+    result = run_experiment(fig6_power_256, quick=True)
+    totals = {row[0]: row[5] for row in result.rows}
+
+    # Ordering: OptXB < p-Clos < OWN-cfg4 < wCMESH, CMESH.
+    assert totals["OptXB"] < totals["p-Clos"] < totals["OWN-cfg4"]
+    assert totals["OWN-cfg4"] < totals["wCMESH"]
+    assert totals["OWN-cfg4"] < totals["CMESH"]
+
+    # Headline: OWN saves in excess of 30 % vs CMESH.
+    assert result.notes["cmesh_vs_own_pct"] > 30.0
+
+    # OWN configurations track their wireless energy: cfg1/cfg3 > cfg2 > cfg4.
+    assert totals["OWN-cfg1"] > totals["OWN-cfg2"] > totals["OWN-cfg4"]
+    assert totals["OWN-cfg3"] >= totals["OWN-cfg1"] * 0.95
+
+    # p-Clos only slightly above OptXB (paper: "slightly more than a
+    # crossbar").
+    assert result.notes["pclos_over_optxb"] < 1.6
+
+    # CMESH router-dominance: router power is its largest component.
+    cmesh_row = next(r for r in result.rows if r[0] == "CMESH")
+    router, elec = cmesh_row[1], cmesh_row[2]
+    assert router > elec

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 7(a) (saturation throughput per pattern, 256 cores).
+
+Paper anchors: with bisection bandwidth equalised, throughputs are close
+across architectures; OWN edges CMESH / wCMESH by a few percent on the
+uniform and permutation traces.
+"""
+
+from repro.analysis import fig7a_throughput_256
+
+
+def test_fig7a(run_experiment):
+    result = run_experiment(fig7a_throughput_256, quick=True)
+    headers = result.headers
+    own_col = headers.index("OWN")
+    cmesh_col = headers.index("CMESH")
+
+    patterns = [row[0] for row in result.rows]
+    assert patterns == ["UN", "BR", "MT", "PS", "NBR"]
+
+    for row in result.rows:
+        # Everything positive and same order of magnitude (the "variation is
+        # not significant" claim): max/min within 3x on each pattern.
+        vals = [v for v in row[1:]]
+        assert min(vals) > 0
+        assert max(vals) / min(vals) < 3.0
+
+    # OWN at least matches CMESH on uniform traffic.
+    un = result.rows[0]
+    assert un[own_col] >= 0.95 * un[cmesh_col]

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 7(b, c) (latency vs load, UN and BR, 256 cores).
+
+Paper anchors: OWN saturates at the highest network load; p-Clos ~10 %
+earlier; CMESH, wCMESH and OptXB ~20 % earlier; OWN's zero-load latency is
+the lowest (3-hop diameter) -- the abstract quotes a ~50 % latency
+improvement over CMESH.
+"""
+
+import pytest
+
+from repro.analysis import fig7bc_latency_256
+
+
+@pytest.mark.parametrize("pattern", ["UN", "BR"])
+def test_fig7bc(run_experiment, pattern):
+    result = run_experiment(fig7bc_latency_256, pattern=pattern, quick=True)
+    notes = result.notes
+
+    own_zero = notes["OWN_zero_load"]
+    # OWN has the lowest zero-load latency of all five networks.
+    for name in ("CMESH", "wCMESH", "OptXB", "p-Clos"):
+        assert own_zero <= notes[f"{name}_zero_load"] + 1.0
+
+    # ~50 % zero-load improvement over CMESH (abstract); allow a wide band.
+    improvement = 1.0 - own_zero / notes["CMESH_zero_load"]
+    assert improvement > 0.25
+
+    # OWN's saturation point is not below any competitor's (quick sweep
+    # granularity: allow ties).
+    own_sat = notes["OWN_saturation"]
+    assert own_sat is not None
+    for name in ("CMESH", "wCMESH", "OptXB", "p-Clos"):
+        other = notes[f"{name}_saturation"]
+        assert other is None or own_sat >= other

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 8(a) (1024-core throughput, select traces).
+
+Paper anchor: "The throughput variation is not significant across different
+architectures" at 1024 cores.
+"""
+
+from repro.analysis import fig8a_throughput_1024
+
+
+def test_fig8a(run_experiment):
+    result = run_experiment(fig8a_throughput_1024, quick=True)
+    assert [row[0] for row in result.rows] == ["UN", "BR", "PS"]
+    for row in result.rows:
+        vals = row[1:]
+        assert min(vals) > 0
+        # "Not significant" variation: within ~3x on the quick windows.
+        assert max(vals) / min(vals) < 3.0

@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 8(b) (1024-core power and energy per packet).
+
+Paper anchors: OWN consumes more than OptXB at 1024 cores (the paper
+quotes ~30 % -- OptXB keeps its power edge, its objection is component
+count); wCMESH's wireless link power dominates its budget because XY DOR
+multiplies wireless hops; CMESH remains the most expensive electrical
+baseline; OWN undercuts wCMESH (paper: by ~3 %, ours by more -- see
+EXPERIMENTS.md).
+"""
+
+from repro.analysis import fig8b_power_1024
+
+
+def test_fig8b(run_experiment):
+    result = run_experiment(fig8b_power_1024, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    totals = {name: row[5] for name, row in rows.items()}
+
+    # OWN below the electrical/wireless hybrids, near the photonic nets.
+    assert totals["OWN"] < totals["wCMESH"]
+    assert totals["OWN"] < totals["CMESH"]
+
+    # wCMESH: wireless is its single largest link component.
+    wc = rows["wCMESH"]
+    wireless, elec, phot = wc[4], wc[2], wc[3]
+    assert wireless > elec and wireless > phot
+
+    # OptXB pays visible router power at radix 259 but stays in OWN's
+    # neighbourhood (paper: OWN = 1.3x OptXB).
+    ratio = totals["OWN"] / totals["OptXB"]
+    assert 0.6 <= ratio <= 1.6
+
+    # Energy per packet is finite and positive everywhere.
+    for row in result.rows:
+        assert row[6] > 0

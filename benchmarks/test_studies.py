@@ -1,0 +1,90 @@
+"""Benches for the substrate-backed studies (area, thermal, components,
+reconfiguration, fault tolerance, burstiness).
+
+These go beyond the paper's figures but each quantifies one of its *claims*:
+scalability arithmetic (Sec. I), thermal balance (Sec. III-A), the
+reconfiguration bands (Sec. IV) and graceful behaviour the architecture
+implies.
+"""
+
+import pytest
+
+from repro.analysis import (
+    study_area_scaling,
+    study_bursty_traffic,
+    study_component_scaling,
+    study_fault_tolerance,
+    study_reconfiguration,
+    study_thermal,
+)
+
+
+def test_area_scaling(run_experiment):
+    result = run_experiment(study_area_scaling)
+    by_key = {(row[0], row[1]): row[6] for row in result.rows}
+    # OptXB area explodes 256 -> 1024; OWN grows roughly with core count.
+    assert by_key[(1024, "OptXB")] > 10 * by_key[(256, "OptXB")]
+    assert by_key[(1024, "OWN")] < 6 * by_key[(256, "OWN")]
+    # CMESH is the area minimalist at both scales.
+    for scale in (256, 1024):
+        assert by_key[(scale, "CMESH")] == min(
+            v for (s, _), v in by_key.items() if s == scale
+        )
+
+
+def test_thermal(run_experiment):
+    result = run_experiment(study_thermal, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    # Ring tuning burden: OptXB's 262k rings chase the gradient much harder
+    # than OWN's 4k (Sec. I's thermal-variation argument).
+    assert rows["OptXB"][3] > 3 * rows["OWN corners"][3]
+    assert rows["CMESH"][3] == 0.0
+    # All peaks above ambient, below boiling silicon absurdities.
+    for row in result.rows:
+        assert 45.0 < row[1] < 120.0
+
+
+def test_component_scaling(run_experiment):
+    result = run_experiment(study_component_scaling)
+    rows = {row[0]: row for row in result.rows}
+    # The exact Sec. I numbers.
+    assert rows["SWMR 64x64"][1] == 448
+    assert rows["SWMR 64x64"][2] == 28224
+    assert rows["SWMR 1024x1024"][2] > 7.3e6
+    # OWN's decomposition: 64x fewer rings than the monolithic crossbar.
+    assert rows["OptXB 64r (MWSR)"][4] > 60 * rows["OWN-256 photonics"][4]
+    # The loss wall: the 64-router snake's worst path is tens of dB worse
+    # than a cluster snake -- the physical reason decomposition is needed.
+    assert result.notes["optxb_snake_path_loss_db"] > (
+        result.notes["own_cluster_path_loss_db"] + 30
+    )
+
+
+def test_reconfiguration(run_experiment):
+    result = run_experiment(study_reconfiguration, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    static, dyn = rows["static"], rows["reconfigurable"]
+    # Spare channels carry real traffic and lift accepted throughput.
+    assert dyn[3] > 0
+    assert dyn[2] > static[2]
+
+
+def test_fault_tolerance(run_experiment):
+    result = run_experiment(study_fault_tolerance, quick=True)
+    lats = [row[1] for row in result.rows]
+    hops = [row[3] for row in result.rows]
+    accepted = [row[2] for row in result.rows]
+    # Graceful degradation: latency and wireless hops rise monotonically
+    # with failures; accepted load never collapses.
+    assert lats == sorted(lats)
+    assert hops == sorted(hops)
+    assert min(accepted) > 0.7 * max(accepted)
+
+
+def test_bursty(run_experiment):
+    result = run_experiment(study_bursty_traffic, quick=True)
+    rows = {row[0]: row for row in result.rows}
+    # Equal mean load: accepted throughput stays put, tail latency grows
+    # with the burst factor.
+    assert rows[4.0][3] == pytest.approx(rows[1.0][3], rel=0.2)
+    assert rows[4.0][2] > rows[1.0][2]

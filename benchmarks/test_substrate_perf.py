@@ -1,0 +1,59 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+These are classic pytest-benchmark measurements (multiple rounds) tracking
+the cycle-loop cost per topology at a fixed load -- the regression canary
+for the active-set scheduling optimisations described in DESIGN.md.
+"""
+
+import pytest
+
+from repro.core import build_own256
+from repro.noc import Simulator, reset_packet_ids
+from repro.topologies import build_cmesh, build_optxb
+from repro.traffic import SyntheticTraffic
+
+
+def _run_cycles(builder, n_cores, rate, cycles):
+    reset_packet_ids()
+    built = builder()
+    sim = Simulator(
+        built.network,
+        traffic=SyntheticTraffic(n_cores, "UN", rate, 4, seed=1),
+    )
+    sim.run(cycles)
+    return sim
+
+
+@pytest.mark.parametrize(
+    "name,builder,n_cores",
+    [
+        ("cmesh256", lambda: build_cmesh(256), 256),
+        ("optxb256", lambda: build_optxb(256), 256),
+        ("own256", build_own256, 256),
+    ],
+)
+def test_simulate_300_cycles(benchmark, name, builder, n_cores):
+    sim = benchmark.pedantic(
+        _run_cycles, args=(builder, n_cores, 0.02, 300), rounds=3, iterations=1
+    )
+    # The run must actually move traffic.
+    assert sim.stats.packets_ejected > 0
+
+
+def test_build_own256(benchmark):
+    built = benchmark.pedantic(build_own256, rounds=3, iterations=1)
+    assert built.network.n_routers == 64
+
+
+def test_traffic_generation_rate(benchmark):
+    """Vectorised Bernoulli generation: one tick over 1024 cores."""
+    traffic = SyntheticTraffic(1024, "UN", 0.1, 4, seed=1)
+
+    def tick_many():
+        total = 0
+        for t in range(200):
+            total += len(traffic.tick(t))
+        return total
+
+    total = benchmark.pedantic(tick_many, rounds=3, iterations=1)
+    assert total > 1000

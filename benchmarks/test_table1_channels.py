@@ -1,0 +1,26 @@
+"""Bench: regenerate Table I (OWN-256 wireless connections).
+
+Paper anchors: 12 channels; C2C pairs A0-B2/B2-A0/A3-B1/B1-A3 at ~60 mm,
+E2E pairs A2-B3/B3-A2/A1-B0/B0-A1 at ~30 mm, SR pairs C0-C3/C3-C0/C1-C2/
+C2-C1 at ~10 mm.
+"""
+
+from repro.analysis import table1_channels
+
+
+def test_table1(run_experiment):
+    result = run_experiment(table1_channels)
+    assert len(result.rows) == 12
+    classes = [row[2] for row in result.rows]
+    assert classes.count("C2C") == 4
+    assert classes.count("E2E") == 4
+    assert classes.count("SR") == 4
+    # Distance ordering: every C2C link longer than every E2E, etc.
+    by_class = {cls: [r[3] for r in result.rows if r[2] == cls] for cls in set(classes)}
+    assert min(by_class["C2C"]) > max(by_class["E2E"]) > max(by_class["SR"])
+    # The Table I pairs are present verbatim.
+    links = {row[1] for row in result.rows}
+    for expected in ("A0->B2", "B2->A0", "A3->B1", "B1->A3",
+                     "A1->B0", "B0->A1", "A2->B3", "B3->A2",
+                     "C0->C3", "C3->C0", "C1->C2", "C2->C1"):
+        assert expected in links

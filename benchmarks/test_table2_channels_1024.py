@@ -1,0 +1,23 @@
+"""Bench: regenerate Table II (OWN-1024 channel allocation).
+
+Paper anchors: 16 channels total ("we need 16 wireless channels and not 12",
+Sec. V-C): 12 inter-group SWMR multicast + 4 intra-group (D antennas);
+group 0 transmits to group 1 on the A antennas (Table II's example row).
+"""
+
+from repro.analysis import table2_channels_1024
+
+
+def test_table2(run_experiment):
+    result = run_experiment(table2_channels_1024)
+    assert len(result.rows) == 16
+    modes = [row[3] for row in result.rows]
+    assert modes.count("SWMR multicast") == 12
+    assert modes.count("intra-group") == 4
+    # Group 0 -> group 1 uses the A antennas (the paper's worked example).
+    row_01 = next(r for r in result.rows if r[1] == "g0->g1")
+    assert row_01[2] == "A"
+    # Intra-group channels sit on the reconfiguration bands 13-16.
+    intra = [r for r in result.rows if r[3] == "intra-group"]
+    assert sorted(r[0] for r in intra) == [13, 14, 15, 16]
+    assert all(r[2] == "D" for r in intra)

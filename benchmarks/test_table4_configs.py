@@ -1,0 +1,25 @@
+"""Bench: regenerate Table IV (the four WiNoC configurations).
+
+Paper anchors (Sec. V-B): cfg1 = SiGe/CMOS/CMOS, cfg2 = CMOS/BiCMOS/SiGe,
+cfg3 = SiGe/BiCMOS/CMOS, cfg4 = CMOS/CMOS/BiCMOS for long/medium/short
+range; configurations 1 and 3 (SiGe long range) burn the most energy per
+bit; configuration 4 the least.
+"""
+
+from repro.analysis import table4_configs
+
+
+def test_table4(run_experiment):
+    result = run_experiment(table4_configs)
+    assert len(result.rows) == 8  # 4 configs x 2 scenarios
+
+    mapping = {row[0]: (row[1], row[2], row[3]) for row in result.rows}
+    assert mapping[1] == ("SiGe", "CMOS", "CMOS")
+    assert mapping[2] == ("CMOS", "BiCMOS", "SiGe")
+    assert mapping[3] == ("SiGe", "BiCMOS", "CMOS")
+    assert mapping[4] == ("CMOS", "CMOS", "BiCMOS")
+
+    for scenario in (1, 2):
+        energy = {row[0]: row[5] for row in result.rows if row[4] == scenario}
+        # SiGe-long configs are the most expensive; config 4 the cheapest.
+        assert energy[3] >= energy[1] > energy[2] > energy[4]

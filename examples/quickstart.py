@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: build OWN-256, drive uniform traffic, report performance+power.
+
+This is the 60-second tour of the library: one architecture, one workload,
+one power breakdown -- the same pipeline every paper experiment uses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Simulator, SyntheticTraffic, build_own256, measure_power
+
+
+def main() -> None:
+    # 1. Build the paper's OWN-256: 4 clusters x 16 tiles x 4 cores,
+    #    photonic MWSR crossbars inside clusters, 12 wireless channels
+    #    between them (Table I).
+    built = build_own256()
+    net = built.network
+    print(f"built {net.name}: {net.n_cores} cores, {net.n_routers} routers, "
+          f"{len(net.links)} links, {len(net.mediums)} token-arbitrated media")
+
+    # 2. Drive uniform-random traffic at 0.03 flits/core/cycle (open loop,
+    #    4-flit packets) for 2000 cycles with a 500-cycle stats warmup.
+    traffic = SyntheticTraffic(net.n_cores, "UN", injection_rate=0.03,
+                               packet_size_flits=4, seed=42)
+    sim = Simulator(net, traffic=traffic, warmup_cycles=500)
+    sim.run(2000)
+
+    summary = sim.summary()
+    print(f"\nperformance @ 0.03 flits/core/cycle:")
+    print(f"  mean latency      : {summary['latency_mean']:.1f} cycles")
+    print(f"  p99 latency       : {summary['latency_p99']:.1f} cycles")
+    print(f"  accepted load     : {summary['throughput']:.4f} flits/core/cycle")
+    print(f"  avg hops          : {summary['avg_hops']:.2f}")
+    print(f"  avg wireless hops : {summary['avg_wireless_hops']:.2f}")
+
+    # 3. Power accounting under Table IV configuration 4 (the paper's best:
+    #    CMOS long+medium range, BiCMOS short) and the ideal 32 GHz scenario.
+    breakdown = measure_power(built, sim, config_id=4, scenario=1)
+    print(f"\npower breakdown (config 4, ideal scenario):")
+    for key, value in breakdown.as_dict().items():
+        print(f"  {key:22s}: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment runners from ``repro.analysis.experiments`` and prints
+their tables plus the paper-anchor notes. With ``--quick`` the simulation
+experiments use short measurement windows (a couple of minutes total);
+without it expect ~10-20 minutes for kilo-core sweeps.
+
+Run:  python examples/reproduce_paper.py [--quick] [--only fig6,fig7a]
+"""
+
+import argparse
+import inspect
+import time
+
+from repro.analysis import EXPERIMENTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short measurement windows for a fast pass")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids (default: all)")
+    args = parser.parse_args()
+
+    wanted = [w for w in args.only.split(",") if w] or list(EXPERIMENTS)
+    unknown = set(wanted) - set(EXPERIMENTS)
+    if unknown:
+        raise SystemExit(f"unknown experiments: {sorted(unknown)}; "
+                         f"known: {sorted(EXPERIMENTS)}")
+
+    for key in wanted:
+        runner = EXPERIMENTS[key]
+        kwargs = {}
+        if args.quick and "quick" in inspect.signature(runner).parameters:
+            kwargs["quick"] = True
+        t0 = time.time()
+        result = runner(**kwargs)
+        elapsed = time.time() - t0
+        print("=" * 72)
+        print(f"[{key}] ({elapsed:.1f}s)")
+        print(result.rendered)
+        if result.notes:
+            print("notes:")
+            for k, v in result.notes.items():
+                print(f"  {k}: {v}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Wireless design-space exploration: which technology serves which link?
+
+Walks the Sec. IV methodology end to end:
+
+1. link budget -- how much radiated power each OWN distance class needs,
+2. Table III   -- the 16-channel frequency/technology/energy plan under the
+   ideal (32 GHz) and conservative (16 GHz) scenarios,
+3. Table IV    -- the four range->technology configurations, scored by the
+   average energy/bit their channels would burn,
+4. a simulated verdict: average wireless link power on OWN-256 under real
+   uniform traffic for every (configuration, scenario) pair (Fig. 5).
+
+Run:  python examples/wireless_design_space.py
+"""
+
+from repro.analysis import (
+    fig3_link_budget,
+    fig5_wireless_power,
+    table3_wireless_tech,
+    table4_configs,
+)
+from repro.core import NOMINAL_DISTANCE_MM
+from repro.rf import LinkBudget, OOKTransceiver
+
+
+def main() -> None:
+    # -- 1. What does physics demand per distance class? ---------------- #
+    budget = LinkBudget()
+    xcvr = OOKTransceiver()
+    print("link-budget view of the three OWN distance classes:")
+    for cls, d in NOMINAL_DISTANCE_MM.items():
+        p = budget.required_tx_power_dbm(d)
+        e = xcvr.energy_per_bit_pj(d)
+        print(f"  {cls}: {d:5.1f} mm -> TX {p:6.2f} dBm, "
+              f"65nm-CMOS transceiver energy {e:.2f} pJ/bit")
+    print()
+
+    # -- 2/3. The projected channel plan and configurations ------------- #
+    print(table3_wireless_tech().rendered)
+    print(table4_configs().rendered)
+
+    # -- 4. Simulated wireless power under uniform traffic (Fig. 5) ----- #
+    result = fig5_wireless_power()
+    print(result.rendered)
+    print("reductions vs configuration 1:")
+    for key, val in result.notes.items():
+        print(f"  {key}: {val:.0f}%")
+    print("\npaper anchors: S1 cfg2 -60%, cfg4 -80%; S2 cfg2 -47%, cfg4 -57%")
+
+    # And the raw Fig. 3 curve for reference.
+    fig3 = fig3_link_budget()
+    print()
+    print(fig3.rendered)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro: reproduction of "Scalable Power-Efficient Kilo-Core
+Photonic-Wireless NoC Architectures" (Kodi et al., IPDPS 2018).
+
+Public API tour
+---------------
+
+Build a network, drive traffic, account power::
+
+    from repro import build_own256, Simulator, SyntheticTraffic, measure_power
+
+    built = build_own256()
+    sim = Simulator(built.network,
+                    traffic=SyntheticTraffic(256, "UN", 0.03, 4, seed=1))
+    sim.run(2000)
+    print(sim.summary())
+    print(measure_power(built, sim, config_id=4, scenario=1).as_dict())
+
+Subpackages:
+
+* :mod:`repro.noc`        -- the cycle-level NoC simulator substrate,
+* :mod:`repro.core`       -- the OWN architecture (the paper's contribution),
+* :mod:`repro.topologies` -- CMESH / wCMESH / OptXB / p-Clos baselines,
+* :mod:`repro.traffic`    -- synthetic patterns, generators, traces,
+* :mod:`repro.rf`         -- OOK transceiver circuit models (Figs. 3-4),
+* :mod:`repro.power`      -- DSENT-style / photonic / wireless power models,
+* :mod:`repro.photonics`  -- component inventories and loss budgets,
+* :mod:`repro.analysis`   -- sweeps, bisection accounting, experiment
+  runners for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.noc import (
+    Network,
+    Packet,
+    Simulator,
+    SimulationDeadlock,
+    Router,
+    RoutingFunction,
+)
+from repro.core import build_own256, build_own1024, OWN256_DIMS, OWN1024_DIMS, OwnDims
+from repro.topologies import (
+    BuiltTopology,
+    build_cmesh,
+    build_wcmesh,
+    build_optxb,
+    build_pclos,
+)
+from repro.traffic import SyntheticTraffic, ScriptedTraffic, TrafficPattern, TrafficTrace
+from repro.power import measure_power, PowerModel, PowerBreakdown, SCENARIOS, CONFIGURATIONS
+from repro.analysis import EXPERIMENTS, load_sweep, ExperimentResult
+
+__all__ = [
+    "__version__",
+    "Network",
+    "Packet",
+    "Simulator",
+    "SimulationDeadlock",
+    "Router",
+    "RoutingFunction",
+    "build_own256",
+    "build_own1024",
+    "OWN256_DIMS",
+    "OWN1024_DIMS",
+    "OwnDims",
+    "BuiltTopology",
+    "build_cmesh",
+    "build_wcmesh",
+    "build_optxb",
+    "build_pclos",
+    "SyntheticTraffic",
+    "ScriptedTraffic",
+    "TrafficPattern",
+    "TrafficTrace",
+    "measure_power",
+    "PowerModel",
+    "PowerBreakdown",
+    "SCENARIOS",
+    "CONFIGURATIONS",
+    "EXPERIMENTS",
+    "load_sweep",
+    "ExperimentResult",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``
+    Regenerate paper tables/figures (all, or a comma list via ``--only``);
+    ``--quick`` shortens the simulation windows.
+``sweep``
+    Latency/throughput load sweep for one topology and pattern.
+``info``
+    Structural summary of a topology (routers, radix, links, media,
+    bisection accounting, photonic component inventory).
+``channels``
+    Print the wireless channel plan (Tables I-IV) without simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.analysis import (
+    EXPERIMENTS,
+    format_table,
+    load_sweep,
+    measure_bisection,
+)
+from repro.core import build_own256, build_own1024
+from repro.topologies import build_cmesh, build_optxb, build_pclos, build_wcmesh
+
+TOPOLOGIES: Dict[str, Callable] = {
+    "own256": build_own256,
+    "own1024": build_own1024,
+    "cmesh256": lambda: build_cmesh(256),
+    "cmesh1024": lambda: build_cmesh(1024),
+    "wcmesh256": lambda: build_wcmesh(256),
+    "wcmesh1024": lambda: build_wcmesh(1024),
+    "optxb256": lambda: build_optxb(256),
+    "optxb1024": lambda: build_optxb(1024),
+    "pclos256": lambda: build_pclos(256),
+    "pclos1024": lambda: build_pclos(1024, n_middles=32),
+}
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    wanted = [w for w in args.only.split(",") if w] or list(EXPERIMENTS)
+    unknown = set(wanted) - set(EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for key in wanted:
+        runner = EXPERIMENTS[key]
+        kwargs = {}
+        if args.quick and "quick" in inspect.signature(runner).parameters:
+            kwargs["quick"] = True
+        t0 = time.time()
+        result = runner(**kwargs)
+        print("=" * 72)
+        print(f"[{key}] ({time.time() - t0:.1f}s)")
+        print(result.rendered)
+        for k, v in result.notes.items():
+            print(f"  note {k}: {v}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    builder = TOPOLOGIES[args.topology]
+    rates = [float(r) for r in args.rates.split(",")]
+    sweep = load_sweep(
+        builder,
+        args.pattern,
+        rates,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        name=args.topology,
+    )
+    rows = [
+        [p.offered, round(p.latency, 1), round(p.throughput, 4),
+         round(p.accepted_fraction, 3)]
+        for p in sweep.points
+    ]
+    print(format_table(
+        ["offered", "latency", "accepted", "fraction"],
+        rows,
+        title=f"{args.topology} / {args.pattern}",
+    ))
+    print(f"saturation offered load: {sweep.saturation_offered()}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    built = TOPOLOGIES[args.topology]()
+    net = built.network
+    print(f"{net.name}: {net.n_cores} cores, {net.n_routers} routers")
+    print(f"  links: {len(net.links)} "
+          f"(electrical {len(net.links_by_kind('electrical'))}, "
+          f"photonic {len(net.links_by_kind('photonic'))}, "
+          f"wireless {len(net.links_by_kind('wireless'))})")
+    print(f"  shared media: {len(net.mediums)}")
+    print(f"  radix histogram: {dict(sorted(net.radix_histogram().items()))}")
+    entry = measure_bisection(built)
+    print(f"  bisection: {entry.crossing_channels} directed channels crossing, "
+          f"{entry.cycles_per_flit} cycles/flit, "
+          f"{entry.equalized_flits_per_cycle:.1f} flits/cycle equalised, "
+          f"{entry.raw_gbps:.0f} Gbps raw")
+    from repro.power import PowerModel
+
+    rings = PowerModel().photonic_ring_count(built)
+    if rings:
+        print(f"  photonic rings: {rings:,}")
+    for k, v in built.notes.items():
+        if isinstance(v, (int, float, str)):
+            print(f"  note {k}: {v}")
+    return 0
+
+
+def cmd_channels(args: argparse.Namespace) -> int:
+    for key in ("table1", "table2", "table3", "table4"):
+        print(EXPERIMENTS[key]().rendered)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_report
+
+    only = [w for w in args.only.split(",") if w] or None
+    try:
+        text = generate_report(only=only, quick=not args.full)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--only", default="", help="comma-separated experiment ids")
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_sweep = sub.add_parser("sweep", help="latency/throughput load sweep")
+    p_sweep.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p_sweep.add_argument("--pattern", default="UN")
+    p_sweep.add_argument("--rates", default="0.01,0.02,0.03,0.04,0.05")
+    p_sweep.add_argument("--cycles", type=int, default=1200)
+    p_sweep.add_argument("--warmup", type=int, default=400)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_info = sub.add_parser("info", help="structural summary of a topology")
+    p_info.add_argument("topology", choices=sorted(TOPOLOGIES))
+    p_info.set_defaults(fn=cmd_info)
+
+    p_ch = sub.add_parser("channels", help="print the wireless channel plan")
+    p_ch.set_defaults(fn=cmd_channels)
+
+    p_rep = sub.add_parser("report", help="generate a markdown run report")
+    p_rep.add_argument("-o", "--output", default="report.md")
+    p_rep.add_argument("--only", default="", help="comma-separated experiment ids")
+    p_rep.add_argument("--full", action="store_true",
+                       help="full simulation windows (slow)")
+    p_rep.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

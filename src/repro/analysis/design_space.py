@@ -1,0 +1,205 @@
+"""Design-space exploration over OWN's configuration knobs.
+
+The paper's own exploration is a 4x2 grid — Table IV configurations against
+the ideal/conservative scenarios — evaluated by hand. This module automates
+the sweep across any subset of OWN's knobs (wireless technology
+configuration, Table III scenario, VC buffering, wireless serialization),
+simulates each point, scores power and latency together, and extracts the
+**Pareto frontier** — the tool a designer reaches for when the question is
+"which configuration should I build?" rather than "what does configuration
+4 do?".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.own256 import build_own256
+from repro.noc.packet import reset_packet_ids
+from repro.noc.simulator import Simulator
+from repro.power import SCENARIOS, measure_power
+from repro.traffic.generator import SyntheticTraffic
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate OWN-256 design."""
+
+    config_id: int
+    scenario: int
+    vc_depth: int = 8
+    wireless_cycles_per_flit: int = 1
+
+    def label(self) -> str:
+        return (
+            f"cfg{self.config_id}/s{self.scenario}/vc{self.vc_depth}"
+            f"/wcpf{self.wireless_cycles_per_flit}"
+        )
+
+
+@dataclass
+class EvaluatedPoint:
+    """A design point plus its measured merit figures."""
+
+    point: DesignPoint
+    latency: float
+    throughput: float
+    power_w: float
+    energy_per_packet_nj: float
+
+    def dominates(self, other: "EvaluatedPoint") -> bool:
+        """Pareto dominance on (latency low, power low, throughput high)."""
+        no_worse = (
+            self.latency <= other.latency
+            and self.power_w <= other.power_w
+            and self.throughput >= other.throughput
+        )
+        strictly_better = (
+            self.latency < other.latency
+            or self.power_w < other.power_w
+            or self.throughput > other.throughput
+        )
+        return no_worse and strictly_better
+
+
+def default_space() -> List[DesignPoint]:
+    """The paper's 4x2 grid: every Table IV configuration under both
+    Table III scenarios (with the scenario's matching serialization)."""
+    points = []
+    for config_id, scenario in itertools.product((1, 2, 3, 4), (1, 2)):
+        points.append(
+            DesignPoint(
+                config_id=config_id,
+                scenario=scenario,
+                wireless_cycles_per_flit=1 if scenario == 1 else 2,
+            )
+        )
+    return points
+
+
+def evaluate_point(
+    point: DesignPoint,
+    rate: float = 0.03,
+    cycles: int = 1000,
+    warmup: int = 300,
+    seed: int = 6,
+) -> EvaluatedPoint:
+    """Simulate one design point and measure its merit figures."""
+    if point.scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {point.scenario}")
+    reset_packet_ids()
+    built = build_own256(
+        vc_depth=point.vc_depth,
+        wireless_cycles_per_flit=point.wireless_cycles_per_flit,
+    )
+    sim = Simulator(
+        built.network,
+        traffic=SyntheticTraffic(256, "UN", rate, 4, seed=seed),
+        warmup_cycles=warmup,
+    )
+    sim.run(cycles)
+    breakdown = measure_power(
+        built, sim, config_id=point.config_id, scenario=point.scenario
+    )
+    return EvaluatedPoint(
+        point=point,
+        latency=sim.mean_latency(),
+        throughput=sim.throughput(),
+        power_w=breakdown.total_w,
+        energy_per_packet_nj=breakdown.energy_per_packet_nj,
+    )
+
+
+def pareto_frontier(evaluated: Sequence[EvaluatedPoint]) -> List[EvaluatedPoint]:
+    """Non-dominated subset, sorted by power."""
+    frontier = [
+        e
+        for e in evaluated
+        if not any(other.dominates(e) for other in evaluated if other is not e)
+    ]
+    return sorted(frontier, key=lambda e: e.power_w)
+
+
+@dataclass
+class ExplorationResult:
+    """Full sweep output."""
+
+    evaluated: List[EvaluatedPoint] = field(default_factory=list)
+    frontier: List[EvaluatedPoint] = field(default_factory=list)
+
+    def best_by(self, metric: str) -> EvaluatedPoint:
+        # Ties on the primary metric (e.g. latency, which only depends on
+        # the network shape) break towards lower power.
+        key = {
+            "power": lambda e: (e.power_w, e.latency),
+            "latency": lambda e: (e.latency, e.power_w),
+            "energy_per_packet": lambda e: (e.energy_per_packet_nj, e.latency),
+        }.get(metric)
+        if key is None:
+            raise ValueError(f"unknown metric {metric!r}")
+        return min(self.evaluated, key=key)
+
+    def rows(self) -> List[List[object]]:
+        out = []
+        frontier_ids = {id(e) for e in self.frontier}
+        for e in sorted(self.evaluated, key=lambda e: e.power_w):
+            out.append(
+                [
+                    e.point.label(),
+                    round(e.latency, 1),
+                    round(e.throughput, 4),
+                    round(e.power_w, 3),
+                    round(e.energy_per_packet_nj, 3),
+                    "*" if id(e) in frontier_ids else "",
+                ]
+            )
+        return out
+
+
+def explore(
+    points: Optional[Iterable[DesignPoint]] = None,
+    rate: float = 0.03,
+    cycles: int = 1000,
+    warmup: int = 300,
+    seed: int = 6,
+) -> ExplorationResult:
+    """Evaluate a design space and extract its Pareto frontier.
+
+    Simulation results are cached per unique *network* shape (vc_depth,
+    serialization): power configurations re-score the same run, so the
+    paper's 4x2 grid costs two simulations, not eight.
+    """
+    pts = list(points) if points is not None else default_space()
+    sim_cache: Dict[Tuple[int, int], Tuple[object, object]] = {}
+    evaluated: List[EvaluatedPoint] = []
+    for point in pts:
+        shape = (point.vc_depth, point.wireless_cycles_per_flit)
+        if shape not in sim_cache:
+            reset_packet_ids()
+            built = build_own256(
+                vc_depth=point.vc_depth,
+                wireless_cycles_per_flit=point.wireless_cycles_per_flit,
+            )
+            sim = Simulator(
+                built.network,
+                traffic=SyntheticTraffic(256, "UN", rate, 4, seed=seed),
+                warmup_cycles=warmup,
+            )
+            sim.run(cycles)
+            sim_cache[shape] = (built, sim)
+        built, sim = sim_cache[shape]
+        breakdown = measure_power(
+            built, sim, config_id=point.config_id, scenario=point.scenario
+        )
+        evaluated.append(
+            EvaluatedPoint(
+                point=point,
+                latency=sim.mean_latency(),
+                throughput=sim.throughput(),
+                power_w=breakdown.total_w,
+                energy_per_packet_nj=breakdown.energy_per_packet_nj,
+            )
+        )
+    return ExplorationResult(evaluated=evaluated, frontier=pareto_frontier(evaluated))

@@ -1,0 +1,128 @@
+"""Load sweeps and saturation detection (the x-axes of Figs. 7-8).
+
+The standard open-loop methodology: for each injection rate run warmup +
+measurement, record mean latency and accepted throughput; the saturation
+point is the largest offered load where latency stays below a multiple of
+the zero-load latency *and* the network still accepts ~the offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.noc.packet import reset_packet_ids
+from repro.noc.simulator import Simulator
+from repro.topologies.base import BuiltTopology
+from repro.traffic.generator import SyntheticTraffic
+
+
+@dataclass
+class SweepPoint:
+    """One (offered load, measured behaviour) sample."""
+
+    offered: float
+    latency: float
+    throughput: float
+    packets: int
+
+    @property
+    def accepted_fraction(self) -> float:
+        return self.throughput / self.offered if self.offered > 0 else float("nan")
+
+
+@dataclass
+class SweepResult:
+    """A full load sweep for one (topology, pattern) pair."""
+
+    name: str
+    pattern: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def zero_load_latency(self) -> float:
+        return self.points[0].latency if self.points else float("nan")
+
+    def saturation_offered(
+        self, latency_factor: float = 3.0, accept_threshold: float = 0.88
+    ) -> Optional[float]:
+        """Largest offered load that is still pre-saturation."""
+        if not self.points:
+            return None
+        zero = self.points[0].latency
+        last = None
+        for p in self.points:
+            if p.latency < latency_factor * zero and p.accepted_fraction > accept_threshold:
+                last = p.offered
+            else:
+                break
+        return last
+
+    def saturation_throughput(self) -> float:
+        """Peak accepted throughput across the sweep (Fig. 7a's metric)."""
+        return max((p.throughput for p in self.points), default=float("nan"))
+
+
+def run_point(
+    builder: Callable[[], BuiltTopology],
+    pattern: str,
+    rate: float,
+    cycles: int = 1200,
+    warmup: int = 400,
+    packet_size: int = 4,
+    seed: int = 3,
+) -> SweepPoint:
+    """Run one simulation point on a freshly built network."""
+    reset_packet_ids()
+    built = builder()
+    n = built.n_cores
+    sim = Simulator(
+        built.network,
+        traffic=SyntheticTraffic(n, pattern, rate, packet_size, seed=seed),
+        warmup_cycles=warmup,
+    )
+    sim.run(cycles)
+    return SweepPoint(
+        offered=rate,
+        latency=sim.mean_latency(),
+        throughput=sim.throughput(),
+        packets=sim.stats.measured_packets,
+    )
+
+
+def load_sweep(
+    builder: Callable[[], BuiltTopology],
+    pattern: str,
+    rates: Sequence[float],
+    cycles: int = 1200,
+    warmup: int = 400,
+    packet_size: int = 4,
+    seed: int = 3,
+    stop_at_saturation: bool = True,
+    name: Optional[str] = None,
+) -> SweepResult:
+    """Sweep offered load; optionally stop once clearly saturated."""
+    result = SweepResult(name=name or builder().name, pattern=pattern)
+    zero: Optional[float] = None
+    for rate in rates:
+        point = run_point(builder, pattern, rate, cycles, warmup, packet_size, seed)
+        result.points.append(point)
+        if zero is None:
+            zero = point.latency
+        if stop_at_saturation and (
+            point.latency >= 4.0 * zero or point.accepted_fraction < 0.8
+        ):
+            break
+    return result
+
+
+def compare_saturation(
+    builders: Dict[str, Callable[[], BuiltTopology]],
+    pattern: str,
+    rates: Sequence[float],
+    **kwargs,
+) -> Dict[str, SweepResult]:
+    """Sweep several topologies on the same pattern (Fig. 7b/c data)."""
+    return {
+        name: load_sweep(builder, pattern, rates, name=name, **kwargs)
+        for name, builder in builders.items()
+    }

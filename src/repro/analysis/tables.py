@@ -1,0 +1,61 @@
+"""ASCII table / CSV rendering for bench output.
+
+Benchmarks print the same rows the paper's tables and figure captions carry;
+this module keeps the formatting in one place so every bench reads alike.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats use ``float_fmt``; everything else is ``str()``-ed. Column widths
+    auto-size to content.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(v) if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep + "\n")
+    for row in str_rows:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as simple CSV (no quoting needs in our data)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def ratio_note(value: float, reference: float, label: str) -> str:
+    """'x1.23 of <label>' annotation used in bench summaries."""
+    if reference == 0:
+        return f"(reference {label} is zero)"
+    return f"x{value / reference:.2f} of {label}"

@@ -1,0 +1,223 @@
+"""Wireless channel allocation for OWN-256 (Table I) and OWN-1024 (Table II).
+
+OWN-256 uses 12 dedicated unidirectional channels between cluster pairs,
+grouped by Table I's distance classes; channels 13-16 are "reserved for
+reconfiguration channels" (Sec. IV, Table III). OWN-1024 needs all 16:
+12 inter-group SWMR channels (one per ordered group pair) plus 4 intra-group
+channels (one per group, on the D antennas -- "one additional wireless
+channel is used for intra-group communication", Sec. III-B).
+
+Channel *indices* (1..16) tie each assignment to a Table III row, i.e. to a
+link frequency, a device technology and an energy/bit; the allocator orders
+them so the longest links take the lowest-index (lowest-frequency, most
+efficient) bands -- the optimisation Sec. IV motivates.
+
+The SDM analysis of Sec. V-B ("we could assign B3-A2 and B0-A1 the same
+channel frequency since the signals do not intersect") is implemented by
+:func:`sdm_frequency_reuse_groups`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.floorplan import (
+    Antenna,
+    antenna,
+    classify_distance,
+    distance_mm,
+    segments_intersect,
+)
+
+#: Table I: ordered cluster pair -> (tx antenna letter, rx antenna letter).
+#: E.g. cluster 3 -> cluster 1 transmits on A3 and is received by B1.
+CLUSTER_PAIR_ANTENNAS: Dict[Tuple[int, int], Tuple[str, str]] = {
+    (0, 2): ("A", "B"),
+    (2, 0): ("B", "A"),
+    (3, 1): ("A", "B"),
+    (1, 3): ("B", "A"),
+    (2, 3): ("A", "B"),
+    (3, 2): ("B", "A"),
+    (0, 1): ("B", "A"),
+    (1, 0): ("A", "B"),
+    (0, 3): ("C", "C"),
+    (3, 0): ("C", "C"),
+    (1, 2): ("C", "C"),
+    (2, 1): ("C", "C"),
+}
+
+#: Inter-group antenna letter by group offset (Table II: group 0 transmits to
+#: group 1 on the A antennas, etc.).
+GROUP_OFFSET_ANTENNA: Dict[int, str] = {1: "A", 2: "B", 3: "C"}
+
+#: Intra-group communication uses the D antennas (Sec. III-A/B).
+INTRA_GROUP_ANTENNA = "D"
+
+#: Group placement mirrors the cluster 2x2 grid: 0=TL, 1=TR, 2=BR, 3=BL.
+GROUP_GRID: Dict[int, Tuple[int, int]] = {0: (0, 0), 1: (1, 0), 2: (1, 1), 3: (0, 1)}
+
+
+@dataclass(frozen=True)
+class ChannelAssignment:
+    """One wireless channel: endpoints, distance class, Table III index."""
+
+    channel_index: int  # 1-based row in Table III
+    src_cluster: int
+    dst_cluster: int
+    tx: str  # antenna letter at the source
+    rx: str  # antenna letter at the destination
+    distance_class: str  # C2C / E2E / SR
+    distance_mm: float
+    src_group: int = 0
+    dst_group: int = 0
+    multicast: bool = False  # SWMR inter-group channels in OWN-1024
+
+    @property
+    def name(self) -> str:
+        if self.src_group == self.dst_group == 0 and not self.multicast:
+            return f"{self.tx}{self.src_cluster}->{self.rx}{self.dst_cluster}"
+        return f"g{self.src_group}{self.tx}->g{self.dst_group}{self.rx}"
+
+
+def _pair_distance(src_cluster: int, dst_cluster: int, tx: str, rx: str) -> float:
+    return distance_mm(antenna(src_cluster, tx), antenna(dst_cluster, rx))
+
+
+def own256_channels() -> List[ChannelAssignment]:
+    """The 12 OWN-256 channels of Table I, ordered C2C -> E2E -> SR.
+
+    Channel indices 1-12 map onto Table III rows; the longest (C2C) links
+    take the lowest-frequency bands where CMOS efficiency is best.
+    """
+    entries: List[Tuple[str, float, Tuple[int, int], Tuple[str, str]]] = []
+    for (src, dst), (tx, rx) in CLUSTER_PAIR_ANTENNAS.items():
+        d = _pair_distance(src, dst, tx, rx)
+        entries.append((classify_distance(d), d, (src, dst), (tx, rx)))
+    order = {"C2C": 0, "E2E": 1, "SR": 2}
+    entries.sort(key=lambda e: (order[e[0]], e[2]))
+    channels = []
+    for idx, (cls, d, (src, dst), (tx, rx)) in enumerate(entries, start=1):
+        channels.append(
+            ChannelAssignment(
+                channel_index=idx,
+                src_cluster=src,
+                dst_cluster=dst,
+                tx=tx,
+                rx=rx,
+                distance_class=cls,
+                distance_mm=d,
+            )
+        )
+    return channels
+
+
+def own256_channel_map() -> Dict[Tuple[int, int], ChannelAssignment]:
+    """Ordered cluster pair -> channel (routing lookup)."""
+    return {(ch.src_cluster, ch.dst_cluster): ch for ch in own256_channels()}
+
+
+def _group_pair_class(src_group: int, dst_group: int) -> str:
+    """Distance class of an inter-group channel.
+
+    Groups sit on the same 2x2 grid as clusters: diagonal pairs are C2C,
+    horizontal pairs E2E, vertical pairs SR (Sec. III-B argues 3D-stacked
+    groups keep distances "similar ... from before").
+    """
+    (sx, sy), (dx, dy) = GROUP_GRID[src_group], GROUP_GRID[dst_group]
+    if sx != dx and sy != dy:
+        return "C2C"
+    if sy == dy:
+        return "E2E"
+    return "SR"
+
+
+def own1024_channels() -> List[ChannelAssignment]:
+    """All 16 OWN-1024 channels: 12 inter-group SWMR + 4 intra-group.
+
+    "It must be noted that in the 1024-core case, we need 16 wireless
+    channels and not 12 as in 256-core case." (Sec. V-C)
+    """
+    inter: List[Tuple[str, int, int, str]] = []
+    for src_group in range(4):
+        for offset in (1, 2, 3):
+            dst_group = (src_group + offset) % 4
+            letter = GROUP_OFFSET_ANTENNA[offset]
+            inter.append((_group_pair_class(src_group, dst_group), src_group, dst_group, letter))
+    order = {"C2C": 0, "E2E": 1, "SR": 2}
+    inter.sort(key=lambda e: (order[e[0]], e[1], e[2]))
+
+    channels: List[ChannelAssignment] = []
+    for idx, (cls, sg, dg, letter) in enumerate(inter, start=1):
+        channels.append(
+            ChannelAssignment(
+                channel_index=idx,
+                src_cluster=-1,  # any cluster of the source group may transmit
+                dst_cluster=-1,  # the intended cluster of the dst group forwards
+                tx=letter,
+                rx=letter,
+                distance_class=cls,
+                distance_mm=NOMINAL_GROUP_DISTANCE_MM[cls],
+                src_group=sg,
+                dst_group=dg,
+                multicast=True,
+            )
+        )
+    # Intra-group channels take the four remaining (reconfiguration) bands.
+    for g in range(4):
+        channels.append(
+            ChannelAssignment(
+                channel_index=13 + g,
+                src_cluster=-1,
+                dst_cluster=-1,
+                tx=INTRA_GROUP_ANTENNA,
+                rx=INTRA_GROUP_ANTENNA,
+                distance_class="SR",
+                distance_mm=NOMINAL_GROUP_DISTANCE_MM["SR"],
+                src_group=g,
+                dst_group=g,
+                multicast=True,
+            )
+        )
+    return channels
+
+
+#: Nominal inter-/intra-group propagation distances [mm] under the 3D-stacked
+#: group layout of Sec. III-B.
+NOMINAL_GROUP_DISTANCE_MM = {"C2C": 60.0, "E2E": 30.0, "SR": 10.0}
+
+
+def own1024_channel_map() -> Dict[Tuple[int, int], ChannelAssignment]:
+    """Ordered group pair (src != dst) or (g, g) for intra -> channel."""
+    return {(ch.src_group, ch.dst_group): ch for ch in own1024_channels()}
+
+
+def channel_segments() -> Dict[str, Tuple[Tuple[float, float], Tuple[float, float]]]:
+    """Physical propagation segments of the 12 OWN-256 channels."""
+    segs = {}
+    for ch in own256_channels():
+        a = antenna(ch.src_cluster, ch.tx)
+        b = antenna(ch.dst_cluster, ch.rx)
+        segs[ch.name] = (a.position_mm, b.position_mm)
+    return segs
+
+
+def sdm_frequency_reuse_groups() -> List[List[str]]:
+    """Greedy grouping of channels whose paths never intersect (SDM).
+
+    Channels in the same group may share one carrier frequency; Sec. V-B
+    proposes this to stretch the four CMOS-friendly bands across more links.
+    Greedy first-fit over the channel list gives a deterministic grouping.
+    """
+    segs = channel_segments()
+    groups: List[List[str]] = []
+    for name, seg in segs.items():
+        placed = False
+        for group in groups:
+            if all(not segments_intersect(*seg, *segs[other]) for other in group):
+                group.append(name)
+                placed = True
+                break
+        if not placed:
+            groups.append([name])
+    return groups

@@ -1,0 +1,90 @@
+"""OWN hierarchical addressing: the (g, c, t, p) quadruple.
+
+"Each core is identified as a quadruple (g, c, t, p) where g identifies the
+group, c identifies the cluster, t identifies the tile and p identifies the
+processing element." (Sec. III-A)
+
+OWN-256 has G=1, C=4, T=16, P=4 (the paper writes "G = 0" meaning a single
+group, index 0); OWN-1024 has G=4. One router serves one tile, so router
+ids enumerate (g, c, t) in the same mixed-radix order as cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class OwnDims:
+    """Dimension parameters of an OWN instance."""
+
+    groups: int = 1
+    clusters: int = 4
+    tiles: int = 16
+    cores_per_tile: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("groups", "clusters", "tiles", "cores_per_tile"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def n_cores(self) -> int:
+        return self.groups * self.clusters * self.tiles * self.cores_per_tile
+
+    @property
+    def n_routers(self) -> int:
+        return self.groups * self.clusters * self.tiles
+
+    # ---------------- core-id conversions ---------------- #
+
+    def core_to_quad(self, core: int) -> Tuple[int, int, int, int]:
+        """Flat core id -> (g, c, t, p)."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range [0, {self.n_cores})")
+        p = core % self.cores_per_tile
+        t = (core // self.cores_per_tile) % self.tiles
+        c = (core // (self.cores_per_tile * self.tiles)) % self.clusters
+        g = core // (self.cores_per_tile * self.tiles * self.clusters)
+        return (g, c, t, p)
+
+    def quad_to_core(self, g: int, c: int, t: int, p: int) -> int:
+        """(g, c, t, p) -> flat core id (validates every component)."""
+        if not 0 <= g < self.groups:
+            raise ValueError(f"group {g} out of range [0, {self.groups})")
+        if not 0 <= c < self.clusters:
+            raise ValueError(f"cluster {c} out of range [0, {self.clusters})")
+        if not 0 <= t < self.tiles:
+            raise ValueError(f"tile {t} out of range [0, {self.tiles})")
+        if not 0 <= p < self.cores_per_tile:
+            raise ValueError(f"pe {p} out of range [0, {self.cores_per_tile})")
+        return ((g * self.clusters + c) * self.tiles + t) * self.cores_per_tile + p
+
+    # ---------------- router-id conversions ---------------- #
+
+    def router_of_core(self, core: int) -> int:
+        return core // self.cores_per_tile
+
+    def router_to_gct(self, rid: int) -> Tuple[int, int, int]:
+        """Router id -> (g, c, t)."""
+        if not 0 <= rid < self.n_routers:
+            raise ValueError(f"router {rid} out of range [0, {self.n_routers})")
+        t = rid % self.tiles
+        c = (rid // self.tiles) % self.clusters
+        g = rid // (self.tiles * self.clusters)
+        return (g, c, t)
+
+    def gct_to_router(self, g: int, c: int, t: int) -> int:
+        if not 0 <= g < self.groups:
+            raise ValueError(f"group {g} out of range [0, {self.groups})")
+        if not 0 <= c < self.clusters:
+            raise ValueError(f"cluster {c} out of range [0, {self.clusters})")
+        if not 0 <= t < self.tiles:
+            raise ValueError(f"tile {t} out of range [0, {self.tiles})")
+        return (g * self.clusters + c) * self.tiles + t
+
+
+#: The paper's two evaluated instances.
+OWN256_DIMS = OwnDims(groups=1, clusters=4, tiles=16, cores_per_tile=4)
+OWN1024_DIMS = OwnDims(groups=4, clusters=4, tiles=16, cores_per_tile=4)

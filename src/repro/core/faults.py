@@ -1,0 +1,159 @@
+"""Wireless channel fault tolerance for OWN-256.
+
+The paper's lineage (3D-NoC [12], "dynamic reconfiguration ... improving
+fault tolerance") motivates surviving transceiver failures. OWN's channel
+plan has no path diversity by itself -- each ordered cluster pair owns one
+channel -- so a failed channel must be *relayed*: route cs -> cx on one
+live channel, traverse cx's photonic crossbar, then cx -> cd on another.
+
+Deadlock safety needs one refinement of the VC discipline (worst case grows
+to five hops): photonic VC0 carries first-leg ascents, VC1 carries
+middle-cluster ascents (and the single ascent of un-relayed packets),
+VCs {2,3} descents; wireless VCs {0,1} carry first legs of relayed packets,
+{2,3} final legs. The resource order
+
+  ph0 < w{0,1} < ph1 < w{2,3} < ph{2,3} < sink
+
+is strictly increasing along every path, relayed or not, hence cycle-free;
+``tests/core/test_faults.py`` stresses it at overload with multiple failed
+channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.channels import ChannelAssignment
+from repro.core.coords import OwnDims
+from repro.core.routing import Own256Routing
+from repro.noc.network import Network
+from repro.noc.router import Router
+
+
+class UnroutableError(RuntimeError):
+    """No live relay path exists for a failed channel's traffic."""
+
+
+class FaultTolerantOwn256Routing(Own256Routing):
+    """OWN-256 routing that relays around failed wireless channels."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.failed_pairs: Set[Tuple[int, int]] = set()
+        self.relayed_packets = 0
+
+    # ---------------- fault management ---------------- #
+
+    def fail_channel(self, src_cluster: int, dst_cluster: int) -> None:
+        """Mark the (src, dst) channel dead; traffic relays around it.
+
+        Raises
+        ------
+        UnroutableError
+            If the failure leaves some pair with no relay (e.g. every
+            channel out of a cluster dead).
+        """
+        self.failed_pairs.add((src_cluster, dst_cluster))
+        # Verify every ordered pair can still route.
+        for cs in range(self.dims.clusters):
+            for cd in range(self.dims.clusters):
+                if cs != cd:
+                    self._next_cluster(cs, cd)  # raises if stuck
+
+    def restore_channel(self, src_cluster: int, dst_cluster: int) -> None:
+        self.failed_pairs.discard((src_cluster, dst_cluster))
+
+    def alive(self, cs: int, cd: int) -> bool:
+        return (cs, cd) not in self.failed_pairs
+
+    def _relay_for(self, cs: int, cd: int) -> int:
+        for cx in range(self.dims.clusters):
+            if cx in (cs, cd):
+                continue
+            if self.alive(cs, cx) and self.alive(cx, cd):
+                return cx
+        raise UnroutableError(
+            f"no live relay from cluster {cs} to {cd}; failed={sorted(self.failed_pairs)}"
+        )
+
+    def _next_cluster(self, cs: int, cd: int) -> int:
+        """The next cluster a packet at ``cs`` heading to ``cd`` crosses to."""
+        if self.alive(cs, cd):
+            return cd
+        return self._relay_for(cs, cd)
+
+    def _legs_remaining(self, c_cur: int, c_dst: int) -> int:
+        """How many wireless hops remain from cluster ``c_cur``."""
+        if c_cur == c_dst:
+            return 0
+        return 1 if self.alive(c_cur, c_dst) else 2
+
+    # ---------------- routing ---------------- #
+
+    def compute(self, router: Router, packet) -> int:
+        rid = router.rid
+        dst_rid = self._dst_rid(packet)
+        if dst_rid == rid:
+            return self.net.core_eject_port[packet.dst_core]
+        _, c_cur, _ = self._gct(rid)
+        _, c_dst, _ = self._gct(dst_rid)
+        if c_cur == c_dst:
+            return self.photonic_port[(rid, dst_rid)]
+        c_next = self._next_cluster(c_cur, c_dst)
+        if c_next != c_dst and rid == self.gateway_rid[
+            self.channel_map[(c_cur, c_next)].channel_index
+        ]:
+            self.relayed_packets += 1
+        channel = self.channel_map[(c_cur, c_next)]
+        gateway = self.gateway_rid[channel.channel_index]
+        if rid == gateway:
+            return self.wireless_port[(rid, channel.channel_index)]
+        return self.photonic_port[(rid, gateway)]
+
+    def allowed_vcs(self, router: Router, out_port: int, packet) -> Sequence[int]:
+        link = router.out_links[out_port]
+        dst_rid = self._dst_rid(packet)
+        _, c_dst, _ = self._gct(dst_rid)
+        _, c_cur, _ = self._gct(router.rid)
+        legs = self._legs_remaining(c_cur, c_dst)
+        if link.kind == "photonic":
+            if legs == 0:
+                return (2, 3)  # descending
+            if legs == 1:
+                return (1,)  # single / middle ascent
+            return (0,)  # first-leg ascent of a relayed packet
+        if link.kind == "wireless":
+            return (2, 3) if legs == 1 else (0, 1)
+        return range(router.num_vcs)
+
+
+def build_fault_tolerant_own256(**kwargs):
+    """Build OWN-256 with relay-capable routing installed.
+
+    Accepts the same keyword arguments as
+    :func:`repro.core.own256.build_own256` and swaps the routing function
+    for :class:`FaultTolerantOwn256Routing`. Returns the
+    :class:`~repro.topologies.base.BuiltTopology`; the routing object is in
+    ``built.notes["routing"]`` for fault injection::
+
+        built = build_fault_tolerant_own256()
+        built.notes["routing"].fail_channel(0, 2)
+    """
+    from repro.core.own256 import build_own256
+
+    built = build_own256(**kwargs)
+    old = built.notes["routing"]
+    routing = FaultTolerantOwn256Routing(
+        old.net,
+        old.dims,
+        old.photonic_port,
+        old.wireless_port,
+        old.channel_map,
+        old.gateway_rid,
+        spare_gateway_rid=old.spare_gateway_rid,
+        spare_out_port=old.spare_out_port,
+    )
+    built.network.set_routing(routing)
+    built.notes["routing"] = routing
+    built.params["fault_tolerant"] = True
+    return built

@@ -1,0 +1,173 @@
+"""OWN floorplan: cluster geometry, antenna placement, distance classes.
+
+Sec. III-A: each cluster is 25 x 25 mm^2; four clusters tile a ~50 x 50 mm
+2.5D assembly. Four wireless transceivers sit at the four *corners* of each
+cluster ("by isolating the four transceivers to the four corners, we balance
+the load ... as well as thermal impact"). Table I defines three distance
+classes with their link-distance (LD) power factors:
+
+=========  ================  ==========  =========
+class      nominal distance  LD factor   channels
+=========  ================  ==========  =========
+C2C        ~60 mm (diagonal) 1.00        A0-B2, B2-A0, A3-B1, B1-A3
+E2E        ~30 mm (edge)     0.50        A2-B3, B3-A2, A1-B0, B0-A1
+SR         ~10 mm (short)    0.15        C0-C3, C3-C0, C1-C2, C2-C1
+=========  ================  ==========  =========
+
+The concrete antenna->corner assignment below is reconstructed so that every
+pair in Table I falls into its stated class under Euclidean distance
+(documented in DESIGN.md). Clusters are laid out 0=top-left, 1=top-right,
+2=bottom-right, 3=bottom-left, which makes 0-2 / 1-3 the diagonals, 0-1 /
+2-3 the (horizontal) edge pairs and 0-3 / 1-2 the short vertical pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Cluster edge [mm] (Sec. III-A: 25 x 25 mm^2, near the 61-core Xeon Phi die).
+CLUSTER_EDGE_MM = 25.0
+
+#: Antenna inset from the cluster corner [mm].
+ANTENNA_INSET_MM = 2.5
+
+#: Distance classes and their nominal lengths / LD power factors (Table I +
+#: Sec. IV "Distance Scaling").
+DISTANCE_CLASSES = ("C2C", "E2E", "SR")
+NOMINAL_DISTANCE_MM = {"C2C": 60.0, "E2E": 30.0, "SR": 10.0}
+LD_FACTOR = {"C2C": 1.0, "E2E": 0.5, "SR": 0.15}
+
+#: Classification thresholds on measured antenna separation [mm]. SR caps at
+#: the paper's ~10 mm short-range figure; wCMESH's 12.5 mm cluster-pitch
+#: hops therefore classify as E2E.
+_C2C_MIN_MM = 45.0
+_SR_MAX_MM = 10.0
+
+#: Cluster position in the 2x2 assembly: cluster id -> (col, row).
+CLUSTER_GRID: Dict[int, Tuple[int, int]] = {0: (0, 0), 1: (1, 0), 2: (1, 1), 3: (0, 1)}
+
+#: Antenna letter -> corner (TL/TR/BL/BR) for each cluster. Reconstructed so
+#: every Table I pair lands in its stated distance class (see module doc).
+ANTENNA_CORNER: Dict[int, Dict[str, str]] = {
+    0: {"A": "TL", "D": "TR", "B": "BL", "C": "BR"},
+    1: {"D": "TL", "B": "TR", "A": "BL", "C": "BR"},
+    2: {"A": "TL", "C": "TR", "D": "BL", "B": "BR"},
+    3: {"B": "TL", "C": "TR", "A": "BL", "D": "BR"},
+}
+
+#: Corner -> tile index in the 4x4 row-major tile grid of a cluster.
+CORNER_TILE: Dict[str, int] = {"TL": 0, "TR": 3, "BL": 12, "BR": 15}
+
+ANTENNA_LETTERS = ("A", "B", "C", "D")
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """One wireless transceiver: its cluster, letter, corner and position."""
+
+    cluster: int
+    letter: str
+    corner: str
+    position_mm: Tuple[float, float]
+
+    @property
+    def tile(self) -> int:
+        """Tile (hence router) hosting this antenna within its cluster."""
+        return CORNER_TILE[self.corner]
+
+    @property
+    def name(self) -> str:
+        return f"{self.letter}{self.cluster}"
+
+
+def cluster_origin_mm(cluster: int) -> Tuple[float, float]:
+    """Top-left corner of the cluster in chip coordinates."""
+    col, row = CLUSTER_GRID[cluster]
+    return (col * CLUSTER_EDGE_MM, row * CLUSTER_EDGE_MM)
+
+
+def corner_position_mm(cluster: int, corner: str) -> Tuple[float, float]:
+    """Chip-coordinate position of a cluster corner (with antenna inset)."""
+    ox, oy = cluster_origin_mm(cluster)
+    lo = ANTENNA_INSET_MM
+    hi = CLUSTER_EDGE_MM - ANTENNA_INSET_MM
+    dx, dy = {"TL": (lo, lo), "TR": (hi, lo), "BL": (lo, hi), "BR": (hi, hi)}[corner]
+    return (ox + dx, oy + dy)
+
+
+def antenna(cluster: int, letter: str) -> Antenna:
+    """The antenna object for e.g. ('A', 0) -> A0."""
+    if cluster not in CLUSTER_GRID:
+        raise ValueError(f"cluster must be 0..3, got {cluster}")
+    if letter not in ANTENNA_LETTERS:
+        raise ValueError(f"antenna letter must be one of {ANTENNA_LETTERS}, got {letter!r}")
+    corner = ANTENNA_CORNER[cluster][letter]
+    return Antenna(cluster, letter, corner, corner_position_mm(cluster, corner))
+
+
+def all_antennas() -> List[Antenna]:
+    return [antenna(c, a) for c in range(4) for a in ANTENNA_LETTERS]
+
+
+def distance_mm(a: Antenna, b: Antenna) -> float:
+    ax, ay = a.position_mm
+    bx, by = b.position_mm
+    return math.hypot(ax - bx, ay - by)
+
+
+def classify_distance(d_mm: float) -> str:
+    """Map a physical antenna separation onto the Table I class."""
+    if d_mm >= _C2C_MIN_MM:
+        return "C2C"
+    if d_mm <= _SR_MAX_MM:
+        return "SR"
+    return "E2E"
+
+
+def tile_position_mm(cluster: int, tile: int) -> Tuple[float, float]:
+    """Centre of a tile's router on the chip (4x4 tiles per cluster)."""
+    if not 0 <= tile < 16:
+        raise ValueError(f"tile must be 0..15, got {tile}")
+    ox, oy = cluster_origin_mm(cluster)
+    pitch = CLUSTER_EDGE_MM / 4
+    x = ox + (tile % 4 + 0.5) * pitch
+    y = oy + (tile // 4 + 0.5) * pitch
+    return (x, y)
+
+
+def segments_intersect(
+    p1: Tuple[float, float],
+    p2: Tuple[float, float],
+    q1: Tuple[float, float],
+    q2: Tuple[float, float],
+) -> bool:
+    """Do the open segments p1-p2 and q1-q2 cross?
+
+    Used by the SDM (space-division multiplexing) analysis of Sec. V-B: two
+    wireless channels may reuse the same carrier frequency when their
+    propagation paths do not intersect.
+    """
+
+    def orient(a, b, c) -> float:
+        return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+    d1 = orient(q1, q2, p1)
+    d2 = orient(q1, q2, p2)
+    d3 = orient(p1, p2, q1)
+    d4 = orient(p1, p2, q2)
+    if (d1 * d2 < 0) and (d3 * d4 < 0):
+        return True  # proper crossing
+    if d1 == d2 == d3 == d4 == 0:
+        # Collinear: interfere when the 1-D projections overlap in more
+        # than a point (e.g. the forward and reverse channels of a pair
+        # share the whole propagation path).
+        lo_x = max(min(p1[0], p2[0]), min(q1[0], q2[0]))
+        hi_x = min(max(p1[0], p2[0]), max(q1[0], q2[0]))
+        lo_y = max(min(p1[1], p2[1]), min(q1[1], q2[1]))
+        hi_y = min(max(p1[1], p2[1]), max(q1[1], q2[1]))
+        return (lo_x < hi_x) or (lo_y < hi_y)
+    # Single-point endpoint touches (T-shapes) are not interference-
+    # relevant crossings for SDM purposes.
+    return False

@@ -1,0 +1,153 @@
+"""Adaptive reconfiguration channels (the paper's forward-looking feature).
+
+Table III reserves channels 13-16 as "reconfiguration channels that could
+adaptively be utilized to improve performance" (Sec. IV). This module
+implements that mechanism for OWN-256:
+
+* The four **D antennas** -- unused by the static Table I plan -- host four
+  spare transceivers (one per cluster).
+* Spare channels run D_src -> D_dst for an ordered cluster pair; a D
+  antenna can drive at most one outgoing and one incoming spare at a time,
+  so up to four spare channels are live concurrently.
+* A :class:`ReconfigurationController` samples per-channel utilisation over
+  fixed epochs and re-assigns the spares to the hottest cluster pairs; the
+  routing layer then splits that pair's traffic across the primary gateway
+  and the D gateway (packet-id interleaving keeps per-packet ordering
+  intact since each packet still uses a single path).
+
+Deadlock safety: a spare path is photonic-ascending -> wireless ->
+photonic-descending, exactly like a primary path, so the VC ordering of
+:mod:`repro.core.routing` continues to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.channels import own256_channel_map
+from repro.noc.links import Link
+from repro.noc.network import Network
+
+#: Number of spare (reconfiguration) channels: Table III rows 13-16.
+N_SPARE_CHANNELS = 4
+
+
+@dataclass
+class SpareAssignment:
+    """One live spare channel: which pair it boosts and its link."""
+
+    pair: Tuple[int, int]
+    channel_index: int
+    link: Link
+
+
+class ReconfigurationController:
+    """Epoch-based manager of the four spare wireless channels.
+
+    Parameters
+    ----------
+    network:
+        An OWN-256 network built with ``with_reconfiguration=True`` (the
+        builder pre-creates the 12 candidate D->D spare links; only the
+        assigned subset is routed onto).
+    spare_links:
+        Ordered map ``(src_cluster, dst_cluster) -> Link`` of candidates.
+    epoch_cycles:
+        Utilisation sampling window.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        spare_links: Dict[Tuple[int, int], Link],
+        primary_links: Dict[Tuple[int, int], Link],
+        epoch_cycles: int = 500,
+    ) -> None:
+        if epoch_cycles < 1:
+            raise ValueError(f"epoch_cycles must be >= 1, got {epoch_cycles}")
+        self.network = network
+        self.spare_links = spare_links
+        self.primary_links = primary_links
+        self.epoch_cycles = epoch_cycles
+        self.assignments: Dict[Tuple[int, int], SpareAssignment] = {}
+        self._last_counts: Dict[Tuple[int, int], int] = {
+            pair: 0 for pair in primary_links
+        }
+        self.epochs = 0
+        self.reassignments = 0
+
+    # ------------------------------------------------------------------ #
+
+    def utilisation_last_epoch(self) -> Dict[Tuple[int, int], int]:
+        """Flits carried per primary channel during the last epoch."""
+        out = {}
+        for pair, link in self.primary_links.items():
+            out[pair] = link.flits_carried - self._last_counts[pair]
+        return out
+
+    def _feasible(self, chosen: List[Tuple[int, int]], pair: Tuple[int, int]) -> bool:
+        """D-antenna constraint: one outgoing + one incoming spare per
+        cluster."""
+        src, dst = pair
+        for (s, d) in chosen:
+            if s == src or d == dst:
+                return False
+        return True
+
+    def reassign(self) -> None:
+        """Give the spares to the hottest cluster pairs (greedy, feasible)."""
+        usage = self.utilisation_last_epoch()
+        ranked = sorted(usage.items(), key=lambda kv: kv[1], reverse=True)
+        chosen: List[Tuple[int, int]] = []
+        for pair, flits in ranked:
+            if flits == 0 or len(chosen) >= N_SPARE_CHANNELS:
+                break
+            if self._feasible(chosen, pair):
+                chosen.append(pair)
+        new_assignments: Dict[Tuple[int, int], SpareAssignment] = {}
+        for i, pair in enumerate(chosen):
+            link = self.spare_links[pair]
+            channel_index = 13 + i
+            link.channel_id = channel_index
+            new_assignments[pair] = SpareAssignment(pair, channel_index, link)
+        if set(new_assignments) != set(self.assignments):
+            self.reassignments += 1
+        self.assignments = new_assignments
+        # Snapshot counters for the next epoch.
+        for pair, link in self.primary_links.items():
+            self._last_counts[pair] = link.flits_carried
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, sim) -> None:
+        """Simulator end-of-cycle hook: reassign on epoch boundaries."""
+        if sim.now > 0 and sim.now % self.epoch_cycles == 0:
+            self.epochs += 1
+            self.reassign()
+
+    def boosted(self, src_cluster: int, dst_cluster: int) -> Optional[SpareAssignment]:
+        return self.assignments.get((src_cluster, dst_cluster))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "epochs": self.epochs,
+            "reassignments": self.reassignments,
+            "active_pairs": sorted(self.assignments.keys()),
+            "spare_flits": sum(
+                a.link.flits_carried for a in self.assignments.values()
+            ),
+        }
+
+
+def validate_spare_topology(spare_links: Dict[Tuple[int, int], Link]) -> None:
+    """Sanity checks the builder output: 12 ordered pairs, all wireless."""
+    pairs = {(s, d) for s in range(4) for d in range(4) if s != d}
+    if set(spare_links) != pairs:
+        raise ValueError(
+            f"spare links must cover all 12 ordered cluster pairs, got "
+            f"{sorted(spare_links)}"
+        )
+    for link in spare_links.values():
+        if link.kind != "wireless":
+            raise ValueError(f"spare link {link.name} is not wireless")

@@ -1,0 +1,218 @@
+"""OWN hierarchical routing and VC-based deadlock avoidance.
+
+Both OWN instances route in at most three network hops (Sec. V-A):
+
+1. photonic hop within the source cluster to the wireless gateway tile,
+2. one wireless hop (inter-cluster for OWN-256; inter-group SWMR multicast
+   or intra-group channel for OWN-1024),
+3. photonic hop within the destination cluster to the destination tile.
+
+Deadlock avoidance
+------------------
+The paper allocates "2 VCs for data packet communication over the photonic
+link and 2 VCs for wireless link" (OWN-256) and, for OWN-1024, "VC0 for
+intra-group communication, VC1 for inter-group vertical, VC2 for inter-group
+horizontal and VC3 for inter-group diagonal".
+
+We keep those allocations on the *wireless* ports and refine the photonic
+side: photonic input VCs {0,1} carry **ascending** hops (towards a wireless
+gateway) and VCs {2,3} carry **descending** hops (towards the destination
+tile / ejection; purely intra-cluster packets are descending). This yields a
+strict resource order
+
+    ascending photonic VC < wireless VC < descending photonic VC < sink,
+
+which is provably cycle-free; without the role split, the first and last
+photonic hops of opposing flows can share a VC class at gateway tiles and
+close a credit cycle (the watchdog catches this in the ablation test).
+DESIGN.md records this as a documented refinement of the paper's scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.channels import (
+    ChannelAssignment,
+    GROUP_GRID,
+    GROUP_OFFSET_ANTENNA,
+)
+from repro.core.coords import OwnDims
+from repro.noc.network import Network
+from repro.noc.router import Router, RoutingFunction
+
+#: Photonic VC roles (see module docstring).
+ASCENDING_VCS: Tuple[int, ...] = (0, 1)
+DESCENDING_VCS: Tuple[int, ...] = (2, 3)
+
+#: OWN-256 wireless channels may use VCs {0,1} ("2 VCs for wireless link").
+OWN256_WIRELESS_VCS: Tuple[int, ...] = (0, 1)
+
+
+def group_pair_vc(src_group: int, dst_group: int) -> int:
+    """OWN-1024 wireless VC class (Sec. V-A).
+
+    VC0 intra-group, VC1 inter-group vertical, VC2 horizontal, VC3 diagonal.
+    """
+    if src_group == dst_group:
+        return 0
+    (sx, sy), (dx, dy) = GROUP_GRID[src_group], GROUP_GRID[dst_group]
+    if sx == dx:
+        return 1  # vertical
+    if sy == dy:
+        return 2  # horizontal
+    return 3  # diagonal
+
+
+class OwnRoutingBase(RoutingFunction):
+    """Shared machinery for OWN-256 / OWN-1024 routing functions.
+
+    Parameters
+    ----------
+    net, dims:
+        The network under construction and its (g, c, t, p) dimensions.
+    photonic_port:
+        ``(writer_rid, reader_rid) -> out_port`` for intra-cluster buses.
+    wireless_port:
+        ``(gateway_rid, channel_index) -> out_port``.
+    gateway_rid:
+        ``channel_index -> transmitting router`` (OWN-256) or
+        ``(channel_index, src_cluster) -> transmitting router`` (OWN-1024).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        dims: OwnDims,
+        photonic_port: Dict[Tuple[int, int], int],
+        wireless_port: Dict[Tuple[int, int], int],
+    ) -> None:
+        self.net = net
+        self.dims = dims
+        self.photonic_port = photonic_port
+        self.wireless_port = wireless_port
+
+    # -- helpers ------------------------------------------------------- #
+
+    def _gct(self, rid: int) -> Tuple[int, int, int]:
+        return self.dims.router_to_gct(rid)
+
+    def _dst_rid(self, packet) -> int:
+        return self.net.core_router[packet.dst_core]
+
+    def allowed_vcs(self, router: Router, out_port: int, packet) -> Sequence[int]:
+        link = router.out_links[out_port]
+        if link.kind == "photonic":
+            dst_rid = self._dst_rid(packet)
+            g_dst, c_dst, _ = self._gct(dst_rid)
+            g_cur, c_cur, _ = self._gct(router.rid)
+            descending = (g_dst, c_dst) == (g_cur, c_cur)
+            return DESCENDING_VCS if descending else ASCENDING_VCS
+        if link.kind == "wireless":
+            return self._wireless_vcs(packet)
+        return range(router.num_vcs)
+
+    def _wireless_vcs(self, packet) -> Sequence[int]:
+        raise NotImplementedError
+
+
+class Own256Routing(OwnRoutingBase):
+    """OWN-256: photonic -> dedicated inter-cluster wireless -> photonic.
+
+    When built ``with_reconfiguration=True`` the routing additionally knows
+    the spare D->D channels; packets of a boosted cluster pair interleave
+    (by packet-id parity, keeping each packet on a single path) between the
+    primary gateway and the D-antenna gateway. See
+    :mod:`repro.core.reconfig`.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        dims: OwnDims,
+        photonic_port: Dict[Tuple[int, int], int],
+        wireless_port: Dict[Tuple[int, int], int],
+        channel_map: Dict[Tuple[int, int], ChannelAssignment],
+        gateway_rid: Dict[int, int],
+        spare_gateway_rid: Dict[int, int] | None = None,
+        spare_out_port: Dict[Tuple[int, int], int] | None = None,
+    ) -> None:
+        super().__init__(net, dims, photonic_port, wireless_port)
+        self.channel_map = channel_map  # (src_cluster, dst_cluster) -> channel
+        self.gateway_rid = gateway_rid  # channel_index -> tx router
+        self.spare_gateway_rid = spare_gateway_rid or {}  # cluster -> D router
+        self.spare_out_port = spare_out_port or {}  # (src, dst cluster) -> port
+        self.reconfig = None  # ReconfigurationController, set via attach
+
+    def attach_reconfiguration(self, controller) -> None:
+        self.reconfig = controller
+
+    def _use_spare(self, packet, c_cur: int, c_dst: int) -> bool:
+        if self.reconfig is None:
+            return False
+        if self.reconfig.boosted(c_cur, c_dst) is None:
+            return False
+        # Per-packet stickiness: parity splits the pair's load ~50/50 while
+        # every flit of a packet follows one path.
+        return packet.pid % 2 == 1
+
+    def compute(self, router: Router, packet) -> int:
+        rid = router.rid
+        dst_rid = self._dst_rid(packet)
+        if dst_rid == rid:
+            return self.net.core_eject_port[packet.dst_core]
+        _, c_cur, _ = self._gct(rid)
+        _, c_dst, _ = self._gct(dst_rid)
+        if c_cur == c_dst:
+            return self.photonic_port[(rid, dst_rid)]
+        if self._use_spare(packet, c_cur, c_dst):
+            d_gateway = self.spare_gateway_rid[c_cur]
+            if rid == d_gateway:
+                return self.spare_out_port[(c_cur, c_dst)]
+            return self.photonic_port[(rid, d_gateway)]
+        channel = self.channel_map[(c_cur, c_dst)]
+        gateway = self.gateway_rid[channel.channel_index]
+        if rid == gateway:
+            return self.wireless_port[(rid, channel.channel_index)]
+        return self.photonic_port[(rid, gateway)]
+
+    def _wireless_vcs(self, packet) -> Sequence[int]:
+        return OWN256_WIRELESS_VCS
+
+
+class Own1024Routing(OwnRoutingBase):
+    """OWN-1024: adds inter-group SWMR multicast and intra-group channels."""
+
+    def __init__(
+        self,
+        net: Network,
+        dims: OwnDims,
+        photonic_port: Dict[Tuple[int, int], int],
+        wireless_port: Dict[Tuple[int, int], int],
+        channel_map: Dict[Tuple[int, int], ChannelAssignment],
+        gateway_rid: Dict[Tuple[int, int], int],
+    ) -> None:
+        super().__init__(net, dims, photonic_port, wireless_port)
+        self.channel_map = channel_map  # (src_group, dst_group) -> channel
+        self.gateway_rid = gateway_rid  # (channel_index, cluster) -> tx router
+
+    def compute(self, router: Router, packet) -> int:
+        rid = router.rid
+        dst_rid = self._dst_rid(packet)
+        if dst_rid == rid:
+            return self.net.core_eject_port[packet.dst_core]
+        g_cur, c_cur, _ = self._gct(rid)
+        g_dst, c_dst, _ = self._gct(dst_rid)
+        if (g_cur, c_cur) == (g_dst, c_dst):
+            return self.photonic_port[(rid, dst_rid)]
+        # Wireless is needed: intra-group (D antennas) or inter-group SWMR.
+        channel = self.channel_map[(g_cur, g_dst)]
+        gateway = self.gateway_rid[(channel.channel_index, c_cur)]
+        if rid == gateway:
+            return self.wireless_port[(rid, channel.channel_index)]
+        return self.photonic_port[(rid, gateway)]
+
+    def _wireless_vcs(self, packet) -> Sequence[int]:
+        g_src, _, _, _ = self.dims.core_to_quad(packet.src_core)
+        g_dst, _, _, _ = self.dims.core_to_quad(packet.dst_core)
+        return (group_pair_vc(g_src, g_dst),)

@@ -1,0 +1,128 @@
+"""Virtual-channel input buffers and their per-packet control state.
+
+Each router input port owns ``num_vcs`` virtual channels; each VC is a FIFO
+of flits plus the classic VC state machine:
+
+``IDLE`` -> (head flit at front) -> ``ROUTING`` (RC stage) ->
+``WAITING_VC`` (VA stage) -> ``ACTIVE`` (competing in SA) -> back to ``IDLE``
+once the tail flit leaves.
+
+The simulator iterates only over *occupied* VCs (active-set scheduling), so
+the VC exposes cheap ``occupied`` checks and the port maintains the set of
+VC indices that currently hold flits.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.noc.packet import Flit
+
+
+class VCState(enum.IntEnum):
+    """Virtual-channel allocation state machine."""
+
+    IDLE = 0
+    ROUTING = 1
+    WAITING_VC = 2
+    ACTIVE = 3
+
+
+class VirtualChannel:
+    """One VC FIFO and its control state.
+
+    Parameters
+    ----------
+    depth:
+        Buffer depth in flits. Credit-based flow control guarantees the
+        upstream router never overruns this; ``push`` still asserts it as a
+        simulator-invariant check.
+    """
+
+    __slots__ = ("index", "depth", "queue", "state", "out_port", "out_vc", "endpoint")
+
+    def __init__(self, index: int, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"VC depth must be >= 1, got {depth}")
+        self.index = index
+        self.depth = depth
+        self.queue: Deque["Flit"] = deque()
+        self.state: VCState = VCState.IDLE
+        # Route decision for the packet currently occupying this VC:
+        self.out_port: Optional[int] = None  # output port index at this router
+        self.out_vc: Optional[int] = None  # allocated VC at the downstream input
+        self.endpoint = None  # repro.noc.links.Endpoint resolved for this packet
+
+    @property
+    def occupied(self) -> bool:
+        return bool(self.queue)
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - len(self.queue)
+
+    def push(self, flit: "Flit") -> None:
+        """Accept a flit from the upstream link.
+
+        Credit flow control should make overflow impossible; an overflow here
+        indicates a simulator bug, hence the hard error.
+        """
+        if len(self.queue) >= self.depth:
+            raise RuntimeError(
+                f"VC{self.index} overflow: depth={self.depth}; "
+                "credit accounting is broken"
+            )
+        self.queue.append(flit)
+
+    def front(self) -> "Flit":
+        return self.queue[0]
+
+    def pop(self) -> "Flit":
+        return self.queue.popleft()
+
+    def release(self) -> None:
+        """Return to IDLE after the tail flit departs."""
+        self.state = VCState.IDLE
+        self.out_port = None
+        self.out_vc = None
+        self.endpoint = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VC(index={self.index}, state={self.state.name}, "
+            f"len={len(self.queue)}/{self.depth})"
+        )
+
+
+class InputPort:
+    """A router input port: a bank of virtual channels.
+
+    The port tracks which of its VCs are occupied so the router can skip
+    empty ones in the per-cycle loop.
+    """
+
+    __slots__ = ("index", "vcs", "kind")
+
+    def __init__(self, index: int, num_vcs: int, vc_depth: int, kind: str = "electrical") -> None:
+        if num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+        self.index = index
+        self.kind = kind
+        self.vcs: List[VirtualChannel] = [VirtualChannel(v, vc_depth) for v in range(num_vcs)]
+
+    def occupied_vcs(self) -> List[VirtualChannel]:
+        """VCs currently holding at least one flit."""
+        return [vc for vc in self.vcs if vc.queue]
+
+    @property
+    def num_vcs(self) -> int:
+        return len(self.vcs)
+
+    def total_occupancy(self) -> int:
+        return sum(len(vc.queue) for vc in self.vcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InputPort(index={self.index}, kind={self.kind}, vcs={len(self.vcs)})"

@@ -1,0 +1,166 @@
+"""Runtime invariant auditing for the NoC substrate.
+
+The simulator's correctness rests on a handful of conservation laws; this
+module checks them against a live network so tests (and debugging sessions)
+can assert them at any cycle boundary:
+
+* **flit conservation** — every created flit is buffered, in flight on a
+  link, queued at an NI, or already ejected; nothing is lost or duplicated;
+* **credit consistency** — for every endpoint, credits + buffered flits +
+  in-flight flits == buffer depth, per VC;
+* **VC-state coherence** — a non-IDLE VC has routing state; an IDLE VC has
+  none; ``vc_busy`` flags at endpoints correspond to packets mid-transfer;
+* **medium coherence** — a medium's holder is one of its members, and every
+  requester has pending VC-allocated packets.
+
+Checks raise :class:`InvariantViolation` with a precise description;
+:func:`audit_network` runs them all and returns a summary dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.noc.buffers import VCState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.noc.simulator import Simulator
+
+
+class InvariantViolation(AssertionError):
+    """A conservation law of the simulator does not hold."""
+
+
+def _in_flight_by_endpoint(sim: "Simulator") -> Dict[tuple, int]:
+    """Scheduled flit deliveries keyed by (endpoint id, vc)."""
+    counts: Dict[tuple, int] = {}
+    for events in sim._events.values():
+        for ev in events:
+            if ev[0] == "flit":
+                _, endpoint, vc, _flit = ev
+                counts[(id(endpoint), vc)] = counts.get((id(endpoint), vc), 0) + 1
+    return counts
+
+
+def _pending_credits_by_endpoint(sim: "Simulator") -> Dict[tuple, int]:
+    """Scheduled credit returns keyed by (endpoint id, vc)."""
+    counts: Dict[tuple, int] = {}
+    for events in sim._events.values():
+        for ev in events:
+            if ev[0] == "credit":
+                _, endpoint, vc = ev
+                counts[(id(endpoint), vc)] = counts.get((id(endpoint), vc), 0) + 1
+    return counts
+
+
+def check_flit_conservation(sim: "Simulator") -> None:
+    """created == ejected + buffered + in-flight + NI-queued."""
+    net = sim.network
+    created = sim.stats.flits_created
+    ejected = sim.stats.flits_ejected
+    # Ejected flits are gone; infer them: created - (everything still here).
+    buffered = net.total_occupancy()
+    queued = sum(len(ni.queue) for ni in net.interfaces if ni is not None)
+    in_flight = sum(
+        1
+        for events in sim._events.values()
+        for ev in events
+        if ev[0] == "flit"
+    )
+    accounted = buffered + queued + in_flight
+    if accounted > created:
+        raise InvariantViolation(
+            f"flit conservation: {accounted} flits present but only "
+            f"{created} were created"
+        )
+    # The remainder must equal the ejected count implied by packet stats.
+    implied_ejected = created - accounted
+    # Cross-check with the collector when no warmup filtering hides flits.
+    if sim.stats.warmup_cycles == 0 and implied_ejected != ejected:
+        raise InvariantViolation(
+            f"flit conservation: implied ejected {implied_ejected} != "
+            f"recorded ejected {ejected}"
+        )
+
+
+def check_credit_consistency(sim: "Simulator") -> None:
+    """credits + buffered + in-flight (+ pending credit returns) == depth."""
+    net = sim.network
+    in_flight = _in_flight_by_endpoint(sim)
+    pending_credits = _pending_credits_by_endpoint(sim)
+    for router in net.routers:
+        for in_port, endpoint in enumerate(router.input_endpoints):
+            port = router.input_ports[in_port]
+            for vc_idx, vc in enumerate(port.vcs):
+                credits = endpoint.credits[vc_idx]
+                buffered = len(vc.queue)
+                flying = in_flight.get((id(endpoint), vc_idx), 0)
+                owed = pending_credits.get((id(endpoint), vc_idx), 0)
+                total = credits + buffered + flying + owed
+                if total != endpoint.vc_depth:
+                    raise InvariantViolation(
+                        f"credit consistency at r{router.rid}.in{in_port}.vc{vc_idx}: "
+                        f"credits={credits} buffered={buffered} in_flight={flying} "
+                        f"owed={owed} != depth={endpoint.vc_depth}"
+                    )
+
+
+def check_vc_state_coherence(net: "Network") -> None:
+    """Routing state exists exactly for VCs that are mid-packet."""
+    for router in net.routers:
+        for port in router.input_ports:
+            for vc in port.vcs:
+                if vc.state is VCState.IDLE:
+                    if vc.out_port is not None or vc.out_vc is not None:
+                        raise InvariantViolation(
+                            f"r{router.rid}: IDLE VC{vc.index} retains route state"
+                        )
+                elif vc.state in (VCState.WAITING_VC, VCState.ROUTING):
+                    if vc.out_port is None:
+                        raise InvariantViolation(
+                            f"r{router.rid}: VC{vc.index} in {vc.state.name} "
+                            f"without a computed out_port"
+                        )
+                elif vc.state is VCState.ACTIVE:
+                    if vc.out_port is None or vc.out_vc is None:
+                        raise InvariantViolation(
+                            f"r{router.rid}: ACTIVE VC{vc.index} missing allocation"
+                        )
+
+
+def check_medium_coherence(net: "Network") -> None:
+    """Holders are members; requesters have pending packets."""
+    for medium in net.mediums:
+        if medium.holder is not None and medium.holder not in medium.members:
+            raise InvariantViolation(
+                f"medium {medium.name}: holder is not a member"
+            )
+        for link in medium.requesters:
+            if link not in medium.member_index:
+                raise InvariantViolation(
+                    f"medium {medium.name}: requester {link.name} not a member"
+                )
+            if link.pending_requests <= 0:
+                raise InvariantViolation(
+                    f"medium {medium.name}: requester {link.name} has no "
+                    f"pending packets"
+                )
+
+
+def audit_network(sim: "Simulator") -> Dict[str, int]:
+    """Run every invariant check; return occupancy summary on success."""
+    net = sim.network
+    check_flit_conservation(sim)
+    check_credit_consistency(sim)
+    check_vc_state_coherence(net)
+    check_medium_coherence(net)
+    return {
+        "cycle": sim.now,
+        "buffered_flits": net.total_occupancy(),
+        "ni_queued": sum(len(ni.queue) for ni in net.interfaces if ni is not None),
+        "in_flight": sum(
+            1 for evs in sim._events.values() for ev in evs if ev[0] == "flit"
+        ),
+        "media_held": sum(1 for m in net.mediums if m.holder is not None),
+    }

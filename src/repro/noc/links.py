@@ -1,0 +1,422 @@
+"""Link-layer models: endpoints, point-to-point links and shared media.
+
+The paper's three interconnect technologies map onto two link abstractions:
+
+* :class:`Link` -- a unidirectional conduit from one router output port to a
+  downstream :class:`Endpoint` (an input port's credit/VC-state view). Plain
+  electrical mesh links are exactly this.
+* :class:`SharedMedium` -- an arbitration domain shared by several links:
+
+  - a **photonic MWSR waveguide** (multiple-writer-single-reader): all writer
+    links share one medium and one destination endpoint; a circulating token
+    (Sec. III-A of the paper) admits one writer at a time;
+  - a **wireless channel**: in OWN-256 channels are dedicated writer->reader
+    pairs (a degenerate medium); in OWN-1024 a channel is SWMR -- one of four
+    cluster transmitters holds the intra-group token and the transmission is
+    *multicast* to the four receivers of the destination group, only one of
+    which forwards it (Sec. III-B). Multicast receive energy is accounted by
+    ``rx_multicast_flits``.
+
+Credits and output-VC busy flags live on the :class:`Endpoint` so that
+multiple upstream writers of a bus share one consistent view of the reader's
+buffer state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.noc.arbiters import RoundRobinArbiter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.packet import Flit, Packet
+    from repro.noc.router import Router
+
+#: Link technology kinds; power accounting keys off these strings.
+ELECTRICAL = "electrical"
+PHOTONIC = "photonic"
+WIRELESS = "wireless"
+
+LINK_KINDS = (ELECTRICAL, PHOTONIC, WIRELESS)
+
+
+class Endpoint:
+    """Downstream-side state of a link: credits and VC ownership.
+
+    Parameters
+    ----------
+    router:
+        Downstream router (``None`` for ejection sinks).
+    in_port:
+        Input-port index at the downstream router.
+    num_vcs, vc_depth:
+        Mirror of the downstream input port geometry; credits start at
+        ``vc_depth`` per VC.
+    is_sink:
+        Ejection endpoints accept flits unconditionally (infinite buffer at
+        the core interface, the standard open-loop sink assumption).
+    """
+
+    __slots__ = (
+        "router",
+        "in_port",
+        "num_vcs",
+        "vc_depth",
+        "credits",
+        "vc_busy",
+        "is_sink",
+        "name",
+    )
+
+    def __init__(
+        self,
+        router: Optional["Router"],
+        in_port: int,
+        num_vcs: int,
+        vc_depth: int,
+        is_sink: bool = False,
+        name: str = "",
+    ) -> None:
+        self.router = router
+        self.in_port = in_port
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.credits: List[int] = [vc_depth] * num_vcs
+        self.vc_busy: List[bool] = [False] * num_vcs
+        self.is_sink = is_sink
+        self.name = name
+
+    def has_credit(self, vc: int) -> bool:
+        return self.is_sink or self.credits[vc] > 0
+
+    def can_accept_packet(self, vc: int, size_flits: int) -> bool:
+        """Virtual cut-through admission: room for the *whole* packet?
+
+        VC allocation only succeeds when the downstream VC buffer can hold
+        the full packet. This guarantees that a writer holding a photonic /
+        wireless token never stalls mid-packet on credits -- the property
+        that keeps token arbitration out of the deadlock cycle (DESIGN.md,
+        "Deadlock freedom").
+
+        Raises
+        ------
+        ValueError
+            If the packet cannot *ever* fit (``size_flits > vc_depth``);
+            silently waiting would hang the simulation.
+        """
+        if self.is_sink:
+            return True
+        if size_flits > self.vc_depth:
+            raise ValueError(
+                f"packet of {size_flits} flits can never fit VC depth "
+                f"{self.vc_depth} at {self.name or 'endpoint'}"
+            )
+        return self.credits[vc] >= size_flits
+
+    def take_credit(self, vc: int) -> None:
+        if self.is_sink:
+            return
+        if self.credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow at {self.name or 'endpoint'} vc={vc}")
+        self.credits[vc] -= 1
+
+    def return_credit(self, vc: int) -> None:
+        if self.is_sink:
+            return
+        self.credits[vc] += 1
+
+    def acquire_vc(self, vc: int) -> None:
+        if self.is_sink:
+            return
+        if self.vc_busy[vc]:
+            raise RuntimeError(f"double VC allocation at {self.name or 'endpoint'} vc={vc}")
+        self.vc_busy[vc] = True
+
+    def release_vc(self, vc: int) -> None:
+        if self.is_sink:
+            return
+        self.vc_busy[vc] = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Endpoint({self.name or (self.router, self.in_port)}, sink={self.is_sink})"
+
+
+class SharedMedium:
+    """A transmission medium arbitrated among several writer links.
+
+    Token arbitration is modelled as request/grant round-robin with a
+    configurable ``arb_latency`` (cycles for the token to reach the granted
+    writer). The holder keeps the medium until its packet's tail flit has
+    been serialised, matching the paper's per-packet token hold.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic / stats key.
+    kind:
+        ``"photonic"`` or ``"wireless"``.
+    arb_latency:
+        Grant-to-first-flit delay in cycles; Corona-style optical token rings
+        cost "a few extra cycles" (Sec. V-B) which this parameter captures.
+    multicast_degree:
+        Number of receivers that physically demodulate each flit (1 for MWSR
+        photonic buses and OWN-256 wireless pairs; 4 for OWN-1024 SWMR
+        wireless channels). Feeds receiver-side power accounting.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "arb_latency",
+        "multicast_degree",
+        "members",
+        "member_index",
+        "holder",
+        "grant_at",
+        "busy_until",
+        "_rr",
+        "_rr_next",
+        "requesters",
+        "flits_carried",
+        "grants",
+        "token_wait_cycles",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        arb_latency: int = 1,
+        multicast_degree: int = 1,
+    ) -> None:
+        if kind not in LINK_KINDS:
+            raise ValueError(f"unknown medium kind {kind!r}")
+        if arb_latency < 0:
+            raise ValueError(f"arb_latency must be >= 0, got {arb_latency}")
+        if multicast_degree < 1:
+            raise ValueError(f"multicast_degree must be >= 1, got {multicast_degree}")
+        self.name = name
+        self.kind = kind
+        self.arb_latency = arb_latency
+        self.multicast_degree = multicast_degree
+        self.members: List["Link"] = []
+        self.member_index: Dict["Link", int] = {}
+        self.holder: Optional["Link"] = None
+        self.grant_at: int = 0  # cycle at which the holder may start transmitting
+        self.busy_until: int = 0  # serialization: next flit may start at this cycle
+        self._rr: Optional[RoundRobinArbiter] = None
+        self._rr_next = 0  # rotating-priority pointer over member indices
+        # Links with at least one VC-allocated packet waiting to transmit.
+        # Request registration is event-driven (updated at VCA / tail send)
+        # so kilo-core crossbars with tens of thousands of writer links do
+        # not pay a per-cycle member scan.
+        self.requesters: set = set()
+        # Stats
+        self.flits_carried = 0
+        self.grants = 0
+        self.token_wait_cycles = 0
+
+    def register(self, link: "Link") -> None:
+        self.member_index[link] = len(self.members)
+        self.members.append(link)
+        self._rr = RoundRobinArbiter(len(self.members))
+
+    def note_request(self, link: "Link") -> None:
+        """A packet on ``link`` finished VCA and now wants the token."""
+        self.requesters.add(link)
+
+    def drop_request(self, link: "Link") -> None:
+        """``link`` no longer has packets waiting (its last tail departed)."""
+        self.requesters.discard(link)
+
+    def try_grant(self, now: int) -> None:
+        """Hand the free token to the next requesting member (round-robin).
+
+        Called once per cycle by the simulator *before* switch allocation.
+        The grant is made on buffered-and-VC-allocated packets; a holder that
+        is momentarily out of downstream credits simply transmits when
+        credits return (it keeps the token, exactly like a real token hold).
+        """
+        if self.holder is not None or not self.requesters:
+            return
+        n = len(self.members)
+        best_link = None
+        best_dist = n
+        for link in self.requesters:
+            dist = (self.member_index[link] - self._rr_next) % n
+            if dist < best_dist:
+                best_dist = dist
+                best_link = link
+        self.holder = best_link
+        self._rr_next = (self.member_index[best_link] + 1) % n
+        self.grant_at = now + self.arb_latency
+        self.grants += 1
+        self.token_wait_cycles += self.arb_latency
+
+    def arbitrate(self, now: int, requesting: Sequence[bool]) -> None:
+        """Array-based grant (legacy interface kept for unit tests)."""
+        if self.holder is not None or self._rr is None:
+            return
+        winner = self._rr.grant(requesting)
+        if winner is not None:
+            self.holder = self.members[winner]
+            self._rr_next = (winner + 1) % len(self.members)
+            self.grant_at = now + self.arb_latency
+            self.grants += 1
+            self.token_wait_cycles += self.arb_latency
+
+    def can_transmit(self, link: "Link", now: int) -> bool:
+        return self.holder is link and now >= self.grant_at and now >= self.busy_until
+
+    def on_flit_sent(self, now: int, cycles_per_flit: int, is_tail: bool) -> None:
+        self.busy_until = now + cycles_per_flit
+        self.flits_carried += 1
+        if is_tail:
+            self.holder = None
+
+    def release_if_holder(self, link: "Link") -> None:
+        """Force-release (used when a holder is torn down in tests)."""
+        if self.holder is link:
+            self.holder = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedMedium({self.name}, kind={self.kind}, members={len(self.members)})"
+
+
+class Link:
+    """A unidirectional link from a router output port to endpoint(s).
+
+    Parameters
+    ----------
+    src_router, out_port:
+        Upstream attachment (``src_router`` may be ``None`` in unit tests).
+    endpoint:
+        The single downstream endpoint, *or* ``None`` when ``endpoints`` +
+        ``resolver`` provide per-packet endpoint resolution (SWMR multicast
+        channels resolve the intended receiver from the packet destination).
+    kind:
+        One of :data:`LINK_KINDS`; selects the power model.
+    latency:
+        Propagation latency in cycles (flit sent at ``t`` arrives at
+        ``t + latency``; must be >= 1 to keep the cycle loop causal).
+    cycles_per_flit:
+        Serialization interval: minimum spacing between consecutive flits.
+        Used to equalise bisection bandwidth across architectures and to
+        model the 16 GHz conservative wireless scenario (2 cycles/flit).
+    length_mm:
+        Physical length, consumed by the electrical/wireless power models.
+    medium:
+        Optional :class:`SharedMedium` this link transmits on.
+    """
+
+    __slots__ = (
+        "name",
+        "src_router",
+        "out_port",
+        "kind",
+        "latency",
+        "cycles_per_flit",
+        "length_mm",
+        "medium",
+        "busy_until",
+        "_endpoint",
+        "endpoints",
+        "resolver",
+        "flits_carried",
+        "bits_carried",
+        "channel_id",
+        "pending_requests",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        src_router: Optional["Router"],
+        out_port: int,
+        endpoint: Optional[Endpoint],
+        kind: str = ELECTRICAL,
+        latency: int = 1,
+        cycles_per_flit: int = 1,
+        length_mm: float = 1.0,
+        medium: Optional[SharedMedium] = None,
+        endpoints: Optional[Dict[object, Endpoint]] = None,
+        resolver: Optional[Callable[["Packet"], object]] = None,
+        channel_id: Optional[int] = None,
+    ) -> None:
+        if kind not in LINK_KINDS:
+            raise ValueError(f"unknown link kind {kind!r}")
+        if latency < 1:
+            raise ValueError(f"link latency must be >= 1 cycle, got {latency}")
+        if cycles_per_flit < 1:
+            raise ValueError(f"cycles_per_flit must be >= 1, got {cycles_per_flit}")
+        if endpoint is None and not endpoints:
+            raise ValueError("link needs an endpoint or an endpoints map")
+        if endpoints and resolver is None:
+            raise ValueError("multi-endpoint link needs a resolver")
+        self.name = name
+        self.src_router = src_router
+        self.out_port = out_port
+        self.kind = kind
+        self.latency = latency
+        self.cycles_per_flit = cycles_per_flit
+        self.length_mm = length_mm
+        self.medium = medium
+        self.busy_until = 0
+        self._endpoint = endpoint
+        self.endpoints = endpoints or {}
+        self.resolver = resolver
+        self.flits_carried = 0
+        self.bits_carried = 0
+        self.channel_id = channel_id
+        # Count of VC-allocated packets currently waiting to use this link;
+        # maintained by the router (VCA / tail transmit) to drive the shared
+        # medium's request set.
+        self.pending_requests = 0
+        if medium is not None:
+            medium.register(self)
+
+    def resolve_endpoint(self, packet: "Packet") -> Endpoint:
+        """Endpoint the given packet will be delivered to."""
+        if self._endpoint is not None:
+            return self._endpoint
+        key = self.resolver(packet)  # type: ignore[misc]
+        try:
+            return self.endpoints[key]
+        except KeyError:
+            raise RuntimeError(
+                f"link {self.name}: resolver produced unknown endpoint key {key!r}"
+            ) from None
+
+    def all_endpoints(self) -> List[Endpoint]:
+        if self._endpoint is not None:
+            return [self._endpoint]
+        return list(self.endpoints.values())
+
+    def ready(self, now: int) -> bool:
+        """Can a flit start transmission this cycle (serialization + medium)?"""
+        if now < self.busy_until:
+            return False
+        if self.medium is not None:
+            return self.medium.can_transmit(self, now)
+        return True
+
+    def needs_grant(self, now: int) -> bool:
+        """True when transmission is blocked only on medium arbitration."""
+        if self.medium is None:
+            return False
+        return now >= self.busy_until and not self.medium.can_transmit(self, now)
+
+    def on_flit_sent(self, now: int, flit: "Flit", flit_width_bits: int) -> None:
+        """Book-keeping when a flit begins traversal."""
+        self.busy_until = now + self.cycles_per_flit
+        self.flits_carried += 1
+        self.bits_carried += flit_width_bits
+        if self.medium is not None:
+            self.medium.on_flit_sent(now, self.cycles_per_flit, flit.is_tail)
+
+    @property
+    def multicast_degree(self) -> int:
+        return self.medium.multicast_degree if self.medium is not None else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Link({self.name}, kind={self.kind}, latency={self.latency})"

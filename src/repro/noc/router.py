@@ -1,0 +1,344 @@
+"""The virtual-channel router model.
+
+The paper assumes "a regular 5-stage pipelined router (routing computation
+(RC), virtual channel allocation (VCA), switch allocation (SA), switch
+traversal (ST) and link traversal (LT))" with 4 VCs per input port. We model
+the same stages with RC, VCA and SA each taking one cycle and ST folded into
+the link-traversal event (uniform across all compared architectures, so
+relative results are preserved while keeping kilo-core simulation tractable
+in Python).
+
+Switch allocation is *separable*: a per-input-port round-robin arbiter picks
+one candidate VC, then a per-output-port round-robin arbiter picks among the
+input-port winners, which is the canonical iSLIP-like single-iteration
+allocator DSENT models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+from repro.noc.arbiters import RoundRobinArbiter
+from repro.noc.buffers import InputPort, VCState, VirtualChannel
+from repro.noc.links import Endpoint, Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.packet import Flit, Packet
+
+
+class RoutingFunction:
+    """Topology-supplied routing interface.
+
+    Subclasses (one per topology) implement :meth:`compute` to select the
+    output port for a packet at a router, and may override
+    :meth:`allowed_vcs` to restrict downstream VC choice for deadlock
+    avoidance (e.g. OWN's photonic/wireless VC partitioning).
+    """
+
+    def compute(self, router: "Router", packet: "Packet") -> int:
+        raise NotImplementedError
+
+    def allowed_vcs(self, router: "Router", out_port: int, packet: "Packet") -> Sequence[int]:
+        link = router.out_links[out_port]
+        endpoint = link.resolve_endpoint(packet)
+        return range(endpoint.num_vcs)
+
+
+# Type of the delivery callback the simulator passes into stage_sa:
+SendFn = Callable[[Link, Endpoint, "Flit", int, int], None]
+CreditFn = Callable[[Endpoint, int, int], None]
+
+
+class Router:
+    """One network router: input VC buffers, output links, allocators.
+
+    Parameters
+    ----------
+    rid:
+        Router id, unique within its network.
+    num_vcs, vc_depth:
+        Input-port geometry (the paper uses 4 VCs per input port).
+    position_mm:
+        (x, y) placement on the die; used to derive link lengths.
+    attrs:
+        Free-form topology metadata (cluster id, tile id, gateway role...).
+    """
+
+    __slots__ = (
+        "rid",
+        "num_vcs",
+        "vc_depth",
+        "position_mm",
+        "attrs",
+        "input_ports",
+        "input_endpoints",
+        "out_links",
+        "routing",
+        "_in_arbs",
+        "_out_arbs",
+        "_occupied",
+        "buffer_writes",
+        "buffer_reads",
+        "xbar_traversals",
+        "vca_grants",
+        "sa_grants",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        num_vcs: int = 4,
+        vc_depth: int = 4,
+        position_mm: Tuple[float, float] = (0.0, 0.0),
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.rid = rid
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.position_mm = position_mm
+        self.attrs: dict = attrs or {}
+        self.input_ports: List[InputPort] = []
+        self.input_endpoints: List[Endpoint] = []
+        self.out_links: List[Optional[Link]] = []
+        self.routing: Optional[RoutingFunction] = None
+        self._in_arbs: List[RoundRobinArbiter] = []
+        self._out_arbs: List[RoundRobinArbiter] = []
+        self._occupied: Set[Tuple[int, int]] = set()  # (in_port, vc) with flits
+        # Activity counters for the power model:
+        self.buffer_writes = 0
+        self.buffer_reads = 0
+        self.xbar_traversals = 0
+        self.vca_grants = 0
+        self.sa_grants = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction API (used by Network builders)
+    # ------------------------------------------------------------------ #
+
+    def add_input_port(self, kind: str = "electrical") -> Endpoint:
+        """Create a new input port and return its endpoint handle.
+
+        The endpoint is what upstream links (or the NI) reference for
+        credits and VC-busy state.
+        """
+        index = len(self.input_ports)
+        port = InputPort(index, self.num_vcs, self.vc_depth, kind=kind)
+        endpoint = Endpoint(
+            self, index, self.num_vcs, self.vc_depth, name=f"r{self.rid}.in{index}"
+        )
+        self.input_ports.append(port)
+        self.input_endpoints.append(endpoint)
+        self._in_arbs.append(RoundRobinArbiter(self.num_vcs))
+        return endpoint
+
+    def add_output_port(self, link: Optional[Link] = None) -> int:
+        """Reserve the next output port index; attach ``link`` if given."""
+        index = len(self.out_links)
+        self.out_links.append(link)
+        self._out_arbs.append(RoundRobinArbiter(1))  # resized by finalize()
+        return index
+
+    def attach_link(self, out_port: int, link: Link) -> None:
+        if self.out_links[out_port] is not None:
+            raise ValueError(f"router {self.rid} out port {out_port} already linked")
+        self.out_links[out_port] = link
+
+    def finalize(self) -> None:
+        """Size per-output arbiters once the port counts are known."""
+        for i, link in enumerate(self.out_links):
+            if link is None:
+                raise ValueError(f"router {self.rid}: output port {i} has no link")
+        n_in = max(1, len(self.input_ports))
+        self._out_arbs = [RoundRobinArbiter(n_in) for _ in self.out_links]
+
+    @property
+    def radix(self) -> int:
+        """Router radix as the paper counts it: total attached ports."""
+        return max(len(self.input_ports), len(self.out_links))
+
+    # ------------------------------------------------------------------ #
+    # Buffer plumbing
+    # ------------------------------------------------------------------ #
+
+    def deliver_flit(self, in_port: int, vc: int, flit: "Flit") -> None:
+        """Accept a flit arriving from a link (the LT stage completing)."""
+        self.input_ports[in_port].vcs[vc].push(flit)
+        self._occupied.add((in_port, vc))
+        self.buffer_writes += 1
+
+    def occupancy(self) -> int:
+        """Total buffered flits (used by the deadlock watchdog)."""
+        return sum(p.total_occupancy() for p in self.input_ports)
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages (invoked by the Simulator each cycle)
+    # ------------------------------------------------------------------ #
+
+    def stage_rc(self, now: int) -> None:
+        """Route computation for head flits at the front of IDLE VCs."""
+        routing = self.routing
+        if routing is None:
+            raise RuntimeError(f"router {self.rid} has no routing function")
+        for (ip, iv) in list(self._occupied):
+            vc = self.input_ports[ip].vcs[iv]
+            if vc.state is not VCState.IDLE or not vc.queue:
+                continue
+            flit = vc.queue[0]
+            if not flit.is_head:
+                raise RuntimeError(
+                    f"router {self.rid}: non-head flit at front of IDLE VC "
+                    f"(in_port={ip}, vc={iv}): {flit!r}"
+                )
+            vc.out_port = routing.compute(self, flit.packet)
+            vc.state = VCState.WAITING_VC
+
+    def stage_vca(self, now: int) -> None:
+        """Virtual-channel allocation for VCs that completed RC."""
+        for (ip, iv) in list(self._occupied):
+            vc = self.input_ports[ip].vcs[iv]
+            if vc.state is not VCState.WAITING_VC:
+                continue
+            packet = vc.queue[0].packet
+            link = self.out_links[vc.out_port]
+            endpoint = link.resolve_endpoint(packet)
+            if endpoint.is_sink:
+                vc.out_vc = 0
+                vc.endpoint = endpoint
+                vc.state = VCState.ACTIVE
+                self.vca_grants += 1
+                continue
+            for cand in self.routing.allowed_vcs(self, vc.out_port, packet):
+                if not endpoint.vc_busy[cand] and endpoint.can_accept_packet(
+                    cand, packet.size_flits
+                ):
+                    endpoint.acquire_vc(cand)
+                    vc.out_vc = cand
+                    vc.endpoint = endpoint
+                    vc.state = VCState.ACTIVE
+                    self.vca_grants += 1
+                    medium = link.medium
+                    if medium is not None:
+                        link.pending_requests += 1
+                        medium.note_request(link)
+                    break
+
+    def wants_link(self, link: Link, now: int) -> bool:
+        """Does any ACTIVE VC here have a flit ready for ``link``?
+
+        Used by the simulator's shared-medium arbitration phase: a router
+        "requests the token" when it could transmit immediately were the
+        medium granted (flit buffered, VC allocated, downstream credit).
+        """
+        out_port = link.out_port
+        for (ip, iv) in self._occupied:
+            vc = self.input_ports[ip].vcs[iv]
+            if (
+                vc.state is VCState.ACTIVE
+                and vc.out_port == out_port
+                and vc.queue
+                and vc.endpoint.has_credit(vc.out_vc)
+            ):
+                return True
+        return False
+
+    def stage_sa(self, now: int, send_fn: SendFn, credit_fn: CreditFn) -> int:
+        """Switch allocation + traversal; returns number of flits moved.
+
+        ``send_fn(link, endpoint, flit, out_vc, now)`` schedules link
+        traversal; ``credit_fn(input_endpoint, vc_index, now)`` schedules the
+        upstream credit return for the freed buffer slot.
+        """
+        if not self._occupied:
+            return 0
+
+        # --- input-port arbitration: one candidate VC per input port ---- #
+        port_winner: Dict[int, VirtualChannel] = {}
+        ports_seen: Set[int] = set()
+        for (ip, _iv) in self._occupied:
+            ports_seen.add(ip)
+        for ip in ports_seen:
+            port = self.input_ports[ip]
+            requests = [False] * self.num_vcs
+            any_req = False
+            for iv in range(self.num_vcs):
+                vc = port.vcs[iv]
+                if (
+                    vc.state is VCState.ACTIVE
+                    and vc.queue
+                    and vc.endpoint.has_credit(vc.out_vc)
+                    and self.out_links[vc.out_port].ready(now)
+                ):
+                    requests[iv] = True
+                    any_req = True
+            if any_req:
+                win = self._in_arbs[ip].grant(requests)
+                if win is not None:
+                    port_winner[ip] = port.vcs[win]
+
+        if not port_winner:
+            return 0
+
+        # --- output-port arbitration among input-port winners ----------- #
+        by_out: Dict[int, List[int]] = {}
+        for ip, vc in port_winner.items():
+            by_out.setdefault(vc.out_port, []).append(ip)
+
+        moved = 0
+        n_in = len(self.input_ports)
+        for out_port, contenders in by_out.items():
+            requests = [False] * n_in
+            for ip in contenders:
+                requests[ip] = True
+            win_ip = self._out_arbs[out_port].grant(requests)
+            if win_ip is None:
+                continue
+            vc = port_winner[win_ip]
+            self._transmit(now, win_ip, vc, send_fn, credit_fn)
+            moved += 1
+        return moved
+
+    def _transmit(
+        self,
+        now: int,
+        in_port: int,
+        vc: VirtualChannel,
+        send_fn: SendFn,
+        credit_fn: CreditFn,
+    ) -> None:
+        link = self.out_links[vc.out_port]
+        endpoint = vc.endpoint
+        flit = vc.pop()
+        if not vc.queue:
+            self._occupied.discard((in_port, vc.index))
+        self.buffer_reads += 1
+        self.xbar_traversals += 1
+        self.sa_grants += 1
+
+        if flit.is_head:
+            packet = flit.packet
+            packet.hops += 1
+            if link.kind == "photonic":
+                packet.photonic_hops += 1
+            elif link.kind == "wireless":
+                packet.wireless_hops += 1
+            elif not endpoint.is_sink:
+                packet.electrical_hops += 1
+
+        endpoint.take_credit(vc.out_vc)
+        out_vc = vc.out_vc
+        # Link/medium busy + bit accounting happens inside send_fn so the
+        # simulator can apply the configured flit width consistently.
+        if flit.is_tail:
+            endpoint.release_vc(out_vc)
+            vc.release()
+            medium = link.medium
+            if medium is not None:
+                link.pending_requests -= 1
+                if link.pending_requests <= 0:
+                    medium.drop_request(link)
+        # Return the freed input-buffer slot upstream:
+        credit_fn(self.input_endpoints[in_port], vc.index, now)
+        send_fn(link, endpoint, flit, out_vc, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Router(rid={self.rid}, radix={self.radix}, attrs={self.attrs})"

@@ -1,0 +1,216 @@
+"""The cycle loop: phase-ordered execution of the whole network.
+
+Each simulated cycle executes, in order:
+
+1. **Deliveries** -- flits whose link traversal completes this cycle enter
+   downstream buffers (or eject at sinks); credits return upstream.
+2. **Medium arbitration** -- free MWSR/SWMR media grant their token to one
+   requesting writer (round-robin, ``arb_latency`` cycles of token flight).
+3. **SA/ST** -- every router runs separable switch allocation; winners start
+   link traversal.
+4. **VCA** then 5. **RC** -- so a head flit arriving at cycle *t* routes at
+   *t*, allocates a VC at *t+1* and first competes for the switch at *t+2*:
+   a 3-cycle router pipeline, our uniform abstraction of the paper's 5-stage
+   router (RC/VCA overlapped with lookahead, SA+ST combined).
+6. **Injection** -- NIs move queued flits into local input ports; the
+   traffic process creates new packets.
+
+Because every phase runs network-wide before the next begins, results are
+independent of router iteration order (output ports belong to exactly one
+router; cross-router contention exists only on shared media, resolved in
+phase 2).
+
+A deadlock watchdog aborts the run if buffered flits stop moving for a
+configurable number of cycles -- misrouted VC partitioning shows up as a
+loud error instead of a silent hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.links import Endpoint, Link
+from repro.noc.network import Network
+from repro.noc.packet import Flit, Packet
+from repro.noc.stats import StatsCollector
+
+
+class SimulationDeadlock(RuntimeError):
+    """Raised when buffered flits make no progress for ``watchdog`` cycles."""
+
+
+class Simulator:
+    """Drives a :class:`~repro.noc.network.Network` cycle by cycle.
+
+    Parameters
+    ----------
+    network:
+        A finalized network (builder output).
+    traffic:
+        Object with ``tick(now) -> list[Packet]``; ``None`` means packets are
+        injected manually via :meth:`network.inject_packet`.
+    warmup_cycles:
+        Statistics warmup (see :class:`repro.noc.stats.StatsCollector`).
+    credit_latency:
+        Cycles for a credit to travel upstream (1 = next-cycle visibility).
+    watchdog:
+        Zero-progress cycle budget before :class:`SimulationDeadlock`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: Optional[object] = None,
+        warmup_cycles: int = 0,
+        credit_latency: int = 1,
+        watchdog: int = 2000,
+    ) -> None:
+        if credit_latency < 1:
+            raise ValueError(f"credit_latency must be >= 1, got {credit_latency}")
+        self.network = network
+        self.traffic = traffic
+        self.credit_latency = credit_latency
+        self.watchdog = watchdog
+        self.now = 0
+        self.stats = StatsCollector(network.n_cores, warmup_cycles)
+        self._events: Dict[int, List[Tuple]] = {}
+        self._last_progress = 0
+        self._flit_width = network.flit_width_bits
+        self._hooks: List[Callable[["Simulator"], None]] = []
+        if not network._finalized:
+            network.finalize()
+
+    def add_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Register a callable invoked at the end of every cycle.
+
+        Used by adaptive controllers (e.g. the reconfiguration-channel
+        manager in :mod:`repro.core.reconfig`) that observe network state
+        and adjust policy on epoch boundaries.
+        """
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, cycle: int, event: Tuple) -> None:
+        self._events.setdefault(cycle, []).append(event)
+
+    def _send_fn(self, link: Link, endpoint: Endpoint, flit: Flit, out_vc: int, now: int) -> None:
+        link.on_flit_sent(now, flit, self._flit_width)
+        self._schedule(now + link.latency, ("flit", endpoint, out_vc, flit))
+
+    def _credit_fn(self, endpoint: Endpoint, vc: int, now: int) -> None:
+        self._schedule(now + self.credit_latency, ("credit", endpoint, vc))
+
+    def _deliver(self, endpoint: Endpoint, vc: int, flit: Flit, now: int) -> None:
+        if endpoint.is_sink:
+            self.stats.on_flit_ejected(now)
+            if flit.is_tail:
+                flit.packet.t_eject = now
+                self.stats.on_packet_ejected(flit.packet, now)
+        else:
+            endpoint.router.deliver_flit(endpoint.in_port, vc, flit)
+
+    # ------------------------------------------------------------------ #
+    # The cycle
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> int:
+        """Execute one cycle; return the number of flits that moved."""
+        now = self.now
+        moved = 0
+
+        # Phase 1: deliveries + credit returns scheduled for this cycle.
+        events = self._events.pop(now, None)
+        if events:
+            for ev in events:
+                if ev[0] == "flit":
+                    _, endpoint, vc, flit = ev
+                    self._deliver(endpoint, vc, flit, now)
+                    moved += 1
+                else:  # "credit"
+                    _, endpoint, vc = ev
+                    endpoint.return_credit(vc)
+
+        # Phase 2: shared-medium (token) arbitration (event-driven request
+        # sets; O(requesters) per free medium, not O(members)).
+        for medium in self.network.mediums:
+            if medium.holder is None and medium.requesters:
+                medium.try_grant(now)
+
+        # Phase 3: switch allocation + traversal.
+        send_fn = self._send_fn
+        credit_fn = self._credit_fn
+        for router in self.network.routers:
+            if router._occupied:
+                moved += router.stage_sa(now, send_fn, credit_fn)
+
+        # Phases 4 & 5: VC allocation, then route computation.
+        for router in self.network.routers:
+            if router._occupied:
+                router.stage_vca(now)
+                router.stage_rc(now)
+
+        # Phase 6: traffic generation + NI injection.
+        if self.traffic is not None:
+            for packet in self.traffic.tick(now):
+                self.stats.on_packet_created(packet)
+                self.network.inject_packet(packet)
+        for ni in self.network.interfaces:
+            if ni is not None and ni.queue:
+                moved += ni.pump(now)
+
+        # End-of-cycle hooks (adaptive controllers).
+        if self._hooks:
+            for hook in self._hooks:
+                hook(self)
+
+        # Watchdog: flits buffered but nothing moved for too long -> deadlock.
+        if moved:
+            self._last_progress = now
+        elif self.network.total_occupancy() and now - self._last_progress > self.watchdog:
+            raise SimulationDeadlock(
+                f"{self.network.name}: no progress for {self.watchdog} cycles "
+                f"at cycle {now} with {self.network.total_occupancy()} flits buffered"
+            )
+
+        self.now = now + 1
+        return moved
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 50_000) -> bool:
+        """Stop traffic and run until the network empties.
+
+        Returns ``True`` if fully drained, ``False`` on hitting the budget.
+        """
+        self.traffic = None
+        for _ in range(max_cycles):
+            if not self._pending_work():
+                return True
+            self.step()
+        return not self._pending_work()
+
+    def _pending_work(self) -> bool:
+        if self._events:
+            return True
+        if self.network.total_occupancy():
+            return True
+        return any(ni is not None and ni.queue for ni in self.network.interfaces)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, float]:
+        return self.stats.summary(self.now)
+
+    def throughput(self) -> float:
+        return self.stats.throughput_flits_per_core_cycle(self.now)
+
+    def mean_latency(self) -> float:
+        return self.stats.latency_stats().mean

@@ -1,0 +1,152 @@
+"""Measurement collection for simulation runs.
+
+Implements the standard open-loop methodology the paper uses: a warmup
+window whose packets are excluded, then a measurement window over which we
+report average packet latency and accepted throughput (flits per core per
+cycle). Activity counters for the power model (per-link bits, per-router
+events) are accumulated by the links/routers themselves; this module owns
+the packet-level aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.noc.packet import Packet
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over recorded packet latencies."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: List[int]) -> "LatencyStats":
+        if not samples:
+            return LatencyStats(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        arr = np.asarray(samples, dtype=np.float64)
+        return LatencyStats(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+class StatsCollector:
+    """Collects packet-level statistics during a simulation.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of cores; normalises throughput.
+    warmup_cycles:
+        Packets *created* before this cycle are excluded from latency and
+        throughput accounting (they still traverse the network and load it).
+    """
+
+    def __init__(self, n_cores: int, warmup_cycles: int = 0) -> None:
+        self.n_cores = n_cores
+        self.warmup_cycles = warmup_cycles
+
+        self.latencies: List[int] = []
+        #: Network-only latency (injection at the NI to ejection), i.e. the
+        #: end-to-end figure minus source queueing. The gap between the two
+        #: distributions is the standard saturation diagnostic.
+        self.network_latencies: List[int] = []
+        self.packets_ejected = 0
+        self.flits_ejected = 0
+        self.packets_created = 0
+        self.flits_created = 0
+        self.measured_packets = 0
+        self.measured_flits = 0
+        self.hop_sum = 0
+        self.wireless_hop_sum = 0
+        self.photonic_hop_sum = 0
+        self.electrical_hop_sum = 0
+        self.first_measured_cycle: Optional[int] = None
+        self.last_cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Event hooks (called by the simulator)
+    # ------------------------------------------------------------------ #
+
+    def on_packet_created(self, packet: Packet) -> None:
+        self.packets_created += 1
+        self.flits_created += packet.size_flits
+
+    def on_flit_ejected(self, now: int) -> None:
+        self.last_cycle = max(self.last_cycle, now)
+        if now >= self.warmup_cycles:
+            if self.first_measured_cycle is None:
+                self.first_measured_cycle = now
+            self.flits_ejected += 1
+
+    def on_packet_ejected(self, packet: Packet, now: int) -> None:
+        self.packets_ejected += 1
+        if packet.t_create >= self.warmup_cycles:
+            self.measured_packets += 1
+            self.measured_flits += packet.size_flits
+            self.latencies.append(now - packet.t_create)
+            if packet.t_inject is not None:
+                self.network_latencies.append(now - packet.t_inject)
+            self.hop_sum += packet.hops
+            self.wireless_hop_sum += packet.wireless_hops
+            self.photonic_hop_sum += packet.photonic_hops
+            self.electrical_hop_sum += packet.electrical_hops
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def latency_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies)
+
+    def network_latency_stats(self) -> LatencyStats:
+        """Latency excluding source (NI) queueing."""
+        return LatencyStats.from_samples(self.network_latencies)
+
+    def queueing_latency_mean(self) -> float:
+        """Average cycles packets spend queued at their source NI."""
+        if not self.latencies or not self.network_latencies:
+            return float("nan")
+        total = sum(self.latencies) / len(self.latencies)
+        network = sum(self.network_latencies) / len(self.network_latencies)
+        return total - network
+
+    def throughput_flits_per_core_cycle(self, end_cycle: int) -> float:
+        """Accepted throughput over the measurement window."""
+        window = end_cycle - self.warmup_cycles
+        if window <= 0:
+            return float("nan")
+        return self.flits_ejected / (self.n_cores * window)
+
+    def avg_hops(self) -> float:
+        return self.hop_sum / self.measured_packets if self.measured_packets else float("nan")
+
+    def avg_wireless_hops(self) -> float:
+        return self.wireless_hop_sum / self.measured_packets if self.measured_packets else float("nan")
+
+    def summary(self, end_cycle: int) -> Dict[str, float]:
+        lat = self.latency_stats()
+        return {
+            "packets_measured": float(self.measured_packets),
+            "latency_mean": lat.mean,
+            "latency_p99": lat.p99,
+            "network_latency_mean": self.network_latency_stats().mean,
+            "queueing_latency_mean": self.queueing_latency_mean(),
+            "throughput": self.throughput_flits_per_core_cycle(end_cycle),
+            "avg_hops": self.avg_hops(),
+            "avg_wireless_hops": self.avg_wireless_hops(),
+        }

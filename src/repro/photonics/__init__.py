@@ -1,0 +1,39 @@
+"""Photonic component inventories and insertion-loss / laser-power models."""
+
+from repro.photonics.components import (
+    ComponentCount,
+    swmr_crossbar,
+    mwsr_crossbar,
+    own_cluster_crossbar,
+    own_inventory,
+    pclos_inventory,
+)
+from repro.photonics.losses import (
+    PhotonicLossParams,
+    splitter_loss_db,
+    waveguide_path_loss_db,
+    required_laser_power_mw,
+)
+from repro.photonics.wdm import (
+    WdmParams,
+    WdmPlan,
+    own_cluster_plan,
+    optxb_plan,
+)
+
+__all__ = [
+    "ComponentCount",
+    "swmr_crossbar",
+    "mwsr_crossbar",
+    "own_cluster_crossbar",
+    "own_inventory",
+    "pclos_inventory",
+    "PhotonicLossParams",
+    "splitter_loss_db",
+    "waveguide_path_loss_db",
+    "required_laser_power_mw",
+    "WdmParams",
+    "WdmPlan",
+    "own_cluster_plan",
+    "optxb_plan",
+]

@@ -1,0 +1,83 @@
+"""Photonic insertion-loss budget and laser-power solver.
+
+"Network latency and insertion losses tend to increase with either a long
+snake-like waveguide (single crossbar) or with a multi-hop network" (Sec. I).
+This module quantifies that: it walks a waveguide's loss contributors
+(coupler, splitter, propagation, ring pass-bys, drop filter) and solves the
+off-chip laser power needed for the worst-case path at a given detector
+sensitivity -- the static component of photonic link power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.units import dbm_to_watts
+
+
+@dataclass(frozen=True)
+class PhotonicLossParams:
+    """Per-component insertion losses [dB], typical silicon-photonics values."""
+
+    coupler_db: float = 1.0  # fiber-to-chip coupler (laser in)
+    splitter_excess_db: float = 0.5  # excess loss of a 1:2 splitter stage
+    waveguide_db_per_cm: float = 1.0
+    ring_through_db: float = 0.01  # passing a non-resonant ring
+    ring_drop_db: float = 0.5  # dropping into the receiver ring
+    modulator_insertion_db: float = 0.5
+    photodetector_db: float = 0.1
+
+
+def splitter_loss_db(fanout: int, params: PhotonicLossParams = PhotonicLossParams()) -> float:
+    """Loss of a 1:``fanout`` star splitter (intrinsic 3 dB per stage +
+    excess). OWN splits the laser across 16 tiles this way (Sec. III-A)."""
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    stages = math.ceil(math.log2(fanout)) if fanout > 1 else 0
+    return stages * (3.0 + params.splitter_excess_db)
+
+
+def waveguide_path_loss_db(
+    length_mm: float,
+    rings_passed: int,
+    params: PhotonicLossParams = PhotonicLossParams(),
+) -> float:
+    """Worst-case on-chip path loss along a bus waveguide."""
+    if length_mm < 0 or rings_passed < 0:
+        raise ValueError("length and ring count must be non-negative")
+    return (
+        params.modulator_insertion_db
+        + (length_mm / 10.0) * params.waveguide_db_per_cm
+        + rings_passed * params.ring_through_db
+        + params.ring_drop_db
+        + params.photodetector_db
+    )
+
+
+def required_laser_power_mw(
+    worst_path_loss_db: float,
+    n_wavelengths: int,
+    detector_sensitivity_dbm: float = -20.0,
+    coupler_db: float = 1.0,
+    wall_plug_efficiency: float = 0.1,
+    margin_db: float = 3.0,
+) -> float:
+    """Electrical (wall-plug) laser power for a waveguide's wavelength comb.
+
+    P_optical_per_lambda = sensitivity + losses + margin; the electrical
+    draw divides by the laser's wall-plug efficiency -- the dominant static
+    cost of big photonic crossbars.
+
+    Raises
+    ------
+    ValueError
+        For non-positive wavelength count or efficiency out of (0, 1].
+    """
+    if n_wavelengths < 1:
+        raise ValueError(f"need >= 1 wavelength, got {n_wavelengths}")
+    if not 0.0 < wall_plug_efficiency <= 1.0:
+        raise ValueError(f"wall-plug efficiency must be in (0, 1], got {wall_plug_efficiency}")
+    per_lambda_dbm = detector_sensitivity_dbm + worst_path_loss_db + coupler_db + margin_db
+    optical_w = n_wavelengths * dbm_to_watts(per_lambda_dbm)
+    return optical_w / wall_plug_efficiency * 1e3

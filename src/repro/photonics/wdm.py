@@ -1,0 +1,134 @@
+"""Wavelength-division-multiplexing plans for the photonic substrates.
+
+Sec. III-A: "we assume off-chip laser source that can generate 64
+wavelengths which is pumped into the chip using a separate power waveguide
+and the signal is split across 16 tiles using a star splitter". This module
+makes that allocation explicit and checkable:
+
+* a :class:`WdmPlan` maps each waveguide to its wavelength comb,
+* validation catches double-assignment within a waveguide and demand beyond
+  the laser's comb,
+* the physical-rate arithmetic (wavelengths x per-lambda rate vs flit width
+  x clock) derives the serialization factor a waveguide needs in the cycle
+  simulator -- connecting the bisection-equalisation numbers to photonic
+  physics instead of leaving them as bare constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WdmParams:
+    """Physical WDM parameters.
+
+    Attributes
+    ----------
+    laser_wavelengths:
+        Comb size of the off-chip laser (64 in the paper).
+    gbps_per_wavelength:
+        Per-lambda modulation rate (10 Gbps-class rings at 45 nm era).
+    channel_spacing_ghz:
+        DWDM grid spacing; bounds how many lambdas fit the ring FSR.
+    ring_fsr_ghz:
+        Free spectral range of the ring resonators.
+    """
+
+    laser_wavelengths: int = 64
+    gbps_per_wavelength: float = 10.0
+    channel_spacing_ghz: float = 80.0
+    ring_fsr_ghz: float = 6400.0
+
+    @property
+    def max_wavelengths_per_waveguide(self) -> int:
+        """The FSR / spacing bound on one waveguide's comb."""
+        return int(self.ring_fsr_ghz // self.channel_spacing_ghz)
+
+
+@dataclass
+class WdmPlan:
+    """Wavelength assignment: waveguide name -> tuple of lambda indices."""
+
+    params: WdmParams
+    assignment: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def assign(self, waveguide: str, wavelengths: Sequence[int]) -> None:
+        """Assign a comb to a waveguide.
+
+        Raises
+        ------
+        ValueError
+            On duplicate lambdas within the comb, out-of-range indices,
+            re-assignment, or exceeding the FSR bound.
+        """
+        lam = tuple(int(w) for w in wavelengths)
+        if waveguide in self.assignment:
+            raise ValueError(f"waveguide {waveguide!r} already assigned")
+        if len(set(lam)) != len(lam):
+            raise ValueError(f"duplicate wavelengths in comb for {waveguide!r}")
+        bad = [w for w in lam if not 0 <= w < self.params.laser_wavelengths]
+        if bad:
+            raise ValueError(
+                f"wavelengths {bad} outside the laser comb "
+                f"[0, {self.params.laser_wavelengths})"
+            )
+        if len(lam) > self.params.max_wavelengths_per_waveguide:
+            raise ValueError(
+                f"{len(lam)} wavelengths exceed the FSR bound "
+                f"({self.params.max_wavelengths_per_waveguide})"
+            )
+        self.assignment[waveguide] = lam
+
+    def bandwidth_gbps(self, waveguide: str) -> float:
+        return len(self.assignment[waveguide]) * self.params.gbps_per_wavelength
+
+    def cycles_per_flit(
+        self, waveguide: str, flit_width_bits: int = 128, clock_ghz: float = 2.5
+    ) -> int:
+        """Serialization factor for the cycle simulator.
+
+        A flit is ``flit_width_bits`` every ``1/clock`` ns; the waveguide
+        moves ``bandwidth`` bits per ns. The factor is the ceiling of the
+        ratio (>= 1).
+        """
+        demand_gbps = flit_width_bits * clock_ghz
+        return max(1, math.ceil(demand_gbps / self.bandwidth_gbps(waveguide)))
+
+    def validate_laser_budget(self) -> None:
+        """Every *distinct* lambda used must exist in the comb; waveguides
+        are physically separate so the same lambda may appear on many of
+        them, but a single waveguide's comb was already checked."""
+        used = {w for comb in self.assignment.values() for w in comb}
+        if used and max(used) >= self.params.laser_wavelengths:
+            raise ValueError("assignment uses wavelengths beyond the comb")
+
+
+def own_cluster_plan(
+    tiles: int = 16, params: WdmParams = WdmParams()
+) -> WdmPlan:
+    """OWN's per-cluster split: 64 lambdas star-split over 16 home
+    waveguides, 4 contiguous lambdas each (Sec. III-A)."""
+    if params.laser_wavelengths % tiles != 0:
+        raise ValueError(
+            f"{params.laser_wavelengths} wavelengths do not divide over "
+            f"{tiles} tiles"
+        )
+    per_tile = params.laser_wavelengths // tiles
+    plan = WdmPlan(params)
+    for t in range(tiles):
+        plan.assign(f"wg{t}", range(t * per_tile, (t + 1) * per_tile))
+    plan.validate_laser_budget()
+    return plan
+
+
+def optxb_plan(n_routers: int = 64, params: WdmParams = WdmParams()) -> WdmPlan:
+    """OptXB's monolithic allocation: the full 64-lambda comb on every home
+    waveguide (the million-ring configuration of Sec. V-B)."""
+    plan = WdmPlan(params)
+    for r in range(n_routers):
+        plan.assign(f"wg{r}", range(params.laser_wavelengths))
+    plan.validate_laser_budget()
+    return plan

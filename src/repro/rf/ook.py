@@ -1,0 +1,149 @@
+"""End-to-end OOK transceiver model.
+
+"The modulation scheme proposed is the non-coherent On-Off keying (OOK)
+because of its design simplicity as well as power and area efficiency. ...
+It requires an oscillator and modulated power amplifier (PA) driving the
+antenna on the transmitter side and a low-noise amplifier (LNA) followed by
+an envelope detector on the receiver end." (Sec. IV-A, Fig. 3 inset)
+
+This module composes the oscillator / PA / LNA behavioural models with the
+link budget into one transceiver object that answers the two system-level
+questions the architecture needs:
+
+* does a given channel close (BER at the target distance/rate)?
+* what is its energy per bit (TX + RX DC power over the data rate), and how
+  does it scale with the link-distance (LD) factor?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.rf.budget import LinkBudget, free_space_path_loss_db
+from repro.rf.lna import CascodeLNA
+from repro.rf.oscillator import ColpittsOscillator, design_for_frequency
+from repro.rf.pa import ClassABPA
+from repro.utils.units import db_to_linear, dbm_to_watts
+
+
+def ook_ber(snr_db: float) -> float:
+    """Bit error rate of non-coherent OOK with envelope detection.
+
+    Standard high-SNR approximation BER ~ 0.5 * exp(-SNR/4) (equal-probable
+    marks/spaces, threshold at half the mark amplitude).
+    """
+    snr = db_to_linear(snr_db)
+    return 0.5 * math.exp(-snr / 4.0)
+
+
+def required_snr_db(target_ber: float) -> float:
+    """Inverse of :func:`ook_ber`.
+
+    Raises
+    ------
+    ValueError
+        For a target BER outside (0, 0.5).
+    """
+    if not 0.0 < target_ber < 0.5:
+        raise ValueError(f"target BER must be in (0, 0.5), got {target_ber}")
+    return 10.0 * math.log10(-4.0 * math.log(2.0 * target_ber))
+
+
+@dataclass
+class OOKTransceiver:
+    """A complete OOK TX/RX pair for one wireless channel.
+
+    Attributes
+    ----------
+    freq_ghz, data_rate_gbps:
+        Channel carrier and payload rate (90 GHz / 32 Gbps nominal).
+    budget:
+        Link budget (defaults re-derived at the channel's carrier).
+    oscillator, pa, lna:
+        Circuit blocks; defaults follow Fig. 4. The oscillator is retuned
+        to the channel carrier.
+    detector_power_mw:
+        Envelope detector + clock/data recovery DC power.
+    modulator_power_mw:
+        OOK switch / driver DC power on the TX side.
+    """
+
+    freq_ghz: float = 90.0
+    data_rate_gbps: float = 32.0
+    budget: LinkBudget = field(default=None)  # type: ignore[assignment]
+    oscillator: ColpittsOscillator = field(default=None)  # type: ignore[assignment]
+    pa: ClassABPA = field(default=None)  # type: ignore[assignment]
+    lna: CascodeLNA = field(default=None)  # type: ignore[assignment]
+    detector_power_mw: float = 2.0
+    modulator_power_mw: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.budget is None:
+            self.budget = LinkBudget(freq_ghz=self.freq_ghz, data_rate_gbps=self.data_rate_gbps)
+        if self.oscillator is None:
+            self.oscillator = design_for_frequency(self.freq_ghz)
+        if self.pa is None:
+            self.pa = ClassABPA(center_ghz=self.freq_ghz)
+        if self.lna is None:
+            self.lna = CascodeLNA(center_ghz=self.freq_ghz)
+
+    # ------------------------------------------------------------------ #
+    # Link closure
+    # ------------------------------------------------------------------ #
+
+    def received_snr_db(self, distance_mm: float, tx_power_dbm: float,
+                        antenna_gain_dbi: float = 0.0) -> float:
+        """SNR at the detector for a given radiated power and distance."""
+        noise_dbm = (
+            self.budget.receiver_sensitivity_dbm
+            - self.budget.snr_required_db
+            - self.budget.margin_db
+        )
+        rx_dbm = (
+            tx_power_dbm
+            + 2 * antenna_gain_dbi
+            - free_space_path_loss_db(distance_mm, self.freq_ghz)
+        )
+        return rx_dbm - noise_dbm
+
+    def ber(self, distance_mm: float, tx_power_dbm: float,
+            antenna_gain_dbi: float = 0.0) -> float:
+        """End-to-end BER (envelope detection after the LNA)."""
+        snr = self.received_snr_db(distance_mm, tx_power_dbm, antenna_gain_dbi)
+        return ook_ber(self.lna.output_snr_db(snr) + self.lna.noise_figure_db)
+
+    def closes(self, distance_mm: float, tx_power_dbm: float,
+               target_ber: float = 1e-9) -> bool:
+        """Does the link meet the NoC BER target (1e-9, the usual WiNoC
+        figure) at this power and distance?"""
+        return self.ber(distance_mm, tx_power_dbm) <= target_ber
+
+    # ------------------------------------------------------------------ #
+    # Power / energy
+    # ------------------------------------------------------------------ #
+
+    def tx_power_dbm_for(self, distance_mm: float) -> float:
+        """Radiated power needed for this channel's distance (Fig. 3)."""
+        return self.budget.required_tx_power_dbm(distance_mm)
+
+    def tx_dc_power_mw(self, distance_mm: float) -> float:
+        """Transmitter DC power: oscillator + modulator + PA.
+
+        The PA's DC draw is scaled by the radiated power relative to its
+        nominal bias (the LD-factor optimisation of Sec. IV: "OWN-256
+        design [must] not waste excess power over shorter distances").
+        """
+        radiated_w = dbm_to_watts(self.tx_power_dbm_for(distance_mm))
+        nominal_w = dbm_to_watts(7.0)  # the paper's PRF = 7 dBm bias point
+        pa_mw = self.pa.dc_power_mw * min(1.0, radiated_w / nominal_w)
+        return self.oscillator.dc_power_mw + self.modulator_power_mw + pa_mw
+
+    def rx_dc_power_mw(self) -> float:
+        """Receiver DC power: LNA + envelope detector."""
+        return self.lna.dc_power_mw + self.detector_power_mw
+
+    def energy_per_bit_pj(self, distance_mm: float) -> float:
+        """Total (TX+RX) energy per bit at this channel's data rate."""
+        total_mw = self.tx_dc_power_mw(distance_mm) + self.rx_dc_power_mw()
+        return total_mw * 1e-3 / (self.data_rate_gbps * 1e9) * 1e12

@@ -1,0 +1,109 @@
+"""Device-technology parameter sets: CMOS, BiCMOS, SiGe HBT.
+
+Sec. IV develops three technology tracks for the OWN wireless transceivers:
+
+* **65 nm CMOS** -- demonstrated building blocks at ~100 GHz (Fig. 4);
+  power-efficient but gain/bandwidth-limited above ~220 GHz.
+* **SiGe BiCMOS** -- CMOS digital + selective SiGe HBT in PA/LNA; "the only
+  feasible semiconductor process" for the full OWN-256 band plan.
+* **SiGe HBT** -- speculative all-HBT design "likely to shape Si integration
+  above ~500 GHz"; highest gain, least efficient.
+
+The base energy-per-bit figures and per-band efficiency ramps come straight
+from the paper's Technology Choices paragraph; the BiCMOS base (not stated
+numerically) is reconstructed as the CMOS/HBT midpoint, 0.3 pJ/bit, which
+also reproduces the paper's Fig. 5 ratios (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+TECH_CMOS = "CMOS"
+TECH_BICMOS = "BiCMOS"
+TECH_HBT = "SiGe"
+
+TECHNOLOGIES = (TECH_CMOS, TECH_BICMOS, TECH_HBT)
+
+
+@dataclass(frozen=True)
+class DeviceTechnology:
+    """Parameters of one device technology track.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (``CMOS`` / ``BiCMOS`` / ``SiGe``).
+    ft_ghz, fmax_ghz:
+        Transition / maximum-oscillation frequencies (device speed).
+    max_link_freq_ghz:
+        Highest carrier this track can serve (Sec. IV: "~300 GHz as a limit
+        beyond which to use SiGe HBT-only circuitry"; CMOS-only tops out
+        lower due to "limited gain and increasing parasitics").
+    base_energy_pj_per_bit:
+        Transceiver efficiency at the lowest band.
+    supply_v:
+        Nominal supply voltage (the Fig. 4 circuits run at 1 V).
+    """
+
+    name: str
+    ft_ghz: float
+    fmax_ghz: float
+    max_link_freq_ghz: float
+    base_energy_pj_per_bit: float
+    supply_v: float = 1.0
+
+    def supports(self, link_freq_ghz: float) -> bool:
+        return link_freq_ghz <= self.max_link_freq_ghz
+
+
+#: The three tracks with their band ceilings used by the Table III
+#: frequency->technology pairing (CMOS <= 220 GHz, BiCMOS <= 320 GHz,
+#: SiGe HBT above; reconstruction documented in DESIGN.md).
+DEVICES: Dict[str, DeviceTechnology] = {
+    TECH_CMOS: DeviceTechnology(
+        name=TECH_CMOS,
+        ft_ghz=200.0,
+        fmax_ghz=250.0,
+        max_link_freq_ghz=220.0,
+        base_energy_pj_per_bit=0.10,
+    ),
+    TECH_BICMOS: DeviceTechnology(
+        name=TECH_BICMOS,
+        ft_ghz=300.0,
+        fmax_ghz=400.0,
+        max_link_freq_ghz=320.0,
+        base_energy_pj_per_bit=0.30,
+    ),
+    TECH_HBT: DeviceTechnology(
+        name=TECH_HBT,
+        ft_ghz=500.0,
+        fmax_ghz=700.0,
+        max_link_freq_ghz=700.0,
+        base_energy_pj_per_bit=0.50,
+    ),
+}
+
+#: Per-band efficiency ramps [pJ/bit per band step] (Sec. IV, Technology
+#: Choices): losses grow with link frequency since "silicon is not an
+#: optimal substrate for THz integration".
+EFFICIENCY_RAMP_PJ: Dict[str, Dict[str, float]] = {
+    "ideal": {TECH_CMOS: 0.05, TECH_BICMOS: 0.07, TECH_HBT: 0.10},
+    "conservative": {TECH_CMOS: 0.05, TECH_BICMOS: 0.06, TECH_HBT: 0.07},
+}
+
+
+def technology_for_frequency(link_freq_ghz: float) -> str:
+    """The Table III frequency->technology pairing."""
+    if link_freq_ghz <= DEVICES[TECH_CMOS].max_link_freq_ghz:
+        return TECH_CMOS
+    if link_freq_ghz <= DEVICES[TECH_BICMOS].max_link_freq_ghz:
+        return TECH_BICMOS
+    return TECH_HBT
+
+
+def validate_technology(name: str) -> str:
+    if name not in TECHNOLOGIES:
+        raise ValueError(f"unknown technology {name!r}; known: {TECHNOLOGIES}")
+    return name

@@ -1,0 +1,19 @@
+"""Steady-state die thermal modelling (grid solver + network analysis)."""
+
+from repro.thermal.grid import ThermalGrid, ThermalParams, ascii_heatmap
+from repro.thermal.analysis import (
+    ThermalReport,
+    power_map_for,
+    thermal_report,
+    TUNING_UW_PER_RING_K,
+)
+
+__all__ = [
+    "ThermalGrid",
+    "ThermalParams",
+    "ascii_heatmap",
+    "ThermalReport",
+    "power_map_for",
+    "thermal_report",
+    "TUNING_UW_PER_RING_K",
+]

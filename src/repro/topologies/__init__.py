@@ -1,0 +1,44 @@
+"""Baseline architectures the paper compares OWN against (Sec. V).
+
+* :func:`build_cmesh`  -- pure-electrical concentrated mesh,
+* :func:`build_wcmesh` -- WCube-style wired/wireless hybrid,
+* :func:`build_optxb`  -- Corona-style all-optical token crossbar,
+* :func:`build_pclos`  -- silicon-photonic folded Clos.
+
+OWN itself lives in :mod:`repro.core` (it is the paper's contribution, not
+a baseline).
+"""
+
+from repro.topologies.base import (
+    BuiltTopology,
+    CONCENTRATION,
+    DIE_EDGE_256_MM,
+    attach_concentrated_cores,
+    die_edge_for,
+    grid_position,
+    grid_side,
+    validate_core_count,
+)
+from repro.topologies.cmesh import build_cmesh, CMeshRouting
+from repro.topologies.wcmesh import build_wcmesh, WCMeshRouting
+from repro.topologies.optxb import build_optxb, OptXBRouting
+from repro.topologies.pclos import build_pclos, PClosRouting
+
+__all__ = [
+    "BuiltTopology",
+    "CONCENTRATION",
+    "DIE_EDGE_256_MM",
+    "attach_concentrated_cores",
+    "die_edge_for",
+    "grid_position",
+    "grid_side",
+    "validate_core_count",
+    "build_cmesh",
+    "CMeshRouting",
+    "build_wcmesh",
+    "WCMeshRouting",
+    "build_optxb",
+    "OptXBRouting",
+    "build_pclos",
+    "PClosRouting",
+]

@@ -1,0 +1,90 @@
+"""Shared helpers for topology builders.
+
+All compared architectures concentrate 4 cores per router (Sec. V-A), so
+every builder uses :func:`attach_concentrated_cores`. Builders return a
+:class:`BuiltTopology` bundling the network with the metadata the analysis
+layer needs (geometry, technology inventory, bisection counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.network import Network
+
+#: Cores per router in every evaluated architecture (paper Sec. V-A).
+CONCENTRATION = 4
+
+#: Die edge for the 256-core floorplan [mm]: four 25x25 mm^2 clusters in a
+#: 2.5D arrangement (Sec. III-A).
+DIE_EDGE_256_MM = 50.0
+
+
+@dataclass
+class BuiltTopology:
+    """A constructed network plus builder metadata.
+
+    Attributes
+    ----------
+    network:
+        The simulatable network.
+    kind:
+        Builder id (``cmesh``, ``wcmesh``, ``optxb``, ``pclos``, ``own``).
+    params:
+        Builder parameters for provenance (core count, radix, scenario...).
+    notes:
+        Free-form facts asserted by tests (e.g. expected max hop count).
+    """
+
+    network: Network
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.network.name
+
+    @property
+    def n_cores(self) -> int:
+        return self.network.n_cores
+
+
+def grid_side(n_routers: int) -> int:
+    """Side of the square router grid; errors on non-square counts."""
+    side = int(round(math.sqrt(n_routers)))
+    if side * side != n_routers:
+        raise ValueError(f"router count {n_routers} is not a perfect square")
+    return side
+
+
+def grid_position(rid: int, side: int, die_edge_mm: float) -> Tuple[float, float]:
+    """Physical (x, y) placement of router ``rid`` on a square die."""
+    pitch = die_edge_mm / side
+    x = (rid % side + 0.5) * pitch
+    y = (rid // side + 0.5) * pitch
+    return (x, y)
+
+
+def attach_concentrated_cores(net: Network, rid: int, first_core: int) -> List[int]:
+    """Attach ``CONCENTRATION`` consecutive cores starting at ``first_core``."""
+    cores = list(range(first_core, first_core + CONCENTRATION))
+    for core in cores:
+        net.attach_core(core, rid)
+    return cores
+
+
+def validate_core_count(n_cores: int) -> int:
+    """The evaluation uses 256 and 1024; any multiple of 4 squares works."""
+    if n_cores % CONCENTRATION != 0:
+        raise ValueError(f"core count {n_cores} not divisible by concentration {CONCENTRATION}")
+    n_routers = n_cores // CONCENTRATION
+    grid_side(n_routers)  # must form a square grid
+    return n_routers
+
+
+def die_edge_for(n_cores: int) -> float:
+    """Die edge scaling: 50 mm at 256 cores, 100 mm at 1024 (4 chips of 4)."""
+    return DIE_EDGE_256_MM * math.sqrt(n_cores / 256.0)

@@ -1,0 +1,113 @@
+"""CMESH: the concentrated 2-D mesh baseline.
+
+"CMESH is designed with 4 cores per router with a maximum radix of 8 and XY
+dimension-order routing (DOR) to prevent deadlocks. The maximum diameter is
+2(sqrt(n) - 1) where n is the number of routers." (Sec. V-A)
+
+Radix 8 = 4 mesh neighbours + 4 cores (edge routers have fewer mesh ports).
+This is the pure-electrical architecture OWN is claimed to beat by >30 %
+in power (Fig. 6 / conclusions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.noc.network import Network
+from repro.noc.router import Router, RoutingFunction
+from repro.topologies.base import (
+    BuiltTopology,
+    CONCENTRATION,
+    attach_concentrated_cores,
+    die_edge_for,
+    grid_position,
+    grid_side,
+    validate_core_count,
+)
+
+
+class CMeshRouting(RoutingFunction):
+    """XY dimension-order routing over the router grid."""
+
+    def __init__(self, net: Network, side: int, port_map: Dict[Tuple[int, str], int]):
+        self.net = net
+        self.side = side
+        self.port_map = port_map  # (rid, direction) -> out_port
+
+    def compute(self, router: Router, packet) -> int:
+        dst_rid = self.net.core_router[packet.dst_core]
+        rid = router.rid
+        if dst_rid == rid:
+            return self.net.core_eject_port[packet.dst_core]
+        side = self.side
+        x, y = rid % side, rid // side
+        dx, dy = dst_rid % side, dst_rid // side
+        if x != dx:  # X first
+            direction = "E" if dx > x else "W"
+        else:
+            direction = "S" if dy > y else "N"
+        return self.port_map[(rid, direction)]
+
+
+def build_cmesh(
+    n_cores: int = 256,
+    num_vcs: int = 4,
+    vc_depth: int = 8,
+    cycles_per_flit: int = 3,
+) -> BuiltTopology:
+    """Build the concentrated-mesh baseline for ``n_cores`` cores.
+
+    ``cycles_per_flit`` defaults to the bisection-equalised value: the
+    paper compares all architectures at equal bisection bandwidth "by
+    adding appropriate delay into the network" (Sec. V-A). CMESH's
+    bisection cut counts 16 directed full-width links against OWN's 8
+    wireless channels; slowing each mesh link 3x brings the cut bandwidths
+    to parity at the saturation operating point (full derivation in
+    ``repro.analysis.bisection``). Pass 1 for the raw network.
+    """
+    n_routers = validate_core_count(n_cores)
+    side = grid_side(n_routers)
+    die = die_edge_for(n_cores)
+    net = Network(f"cmesh{n_cores}", n_cores, num_vcs=num_vcs, vc_depth=vc_depth)
+
+    for rid in range(n_routers):
+        net.add_router(
+            position_mm=grid_position(rid, side, die),
+            attrs={"x": rid % side, "y": rid // side},
+        )
+    for rid in range(n_routers):
+        attach_concentrated_cores(net, rid, rid * CONCENTRATION)
+
+    port_map: Dict[Tuple[int, str], int] = {}
+    link_len = die / side
+    for rid in range(n_routers):
+        x, y = rid % side, rid // side
+        for direction, (nx, ny) in (
+            ("E", (x + 1, y)),
+            ("W", (x - 1, y)),
+            ("S", (x, y + 1)),
+            ("N", (x, y - 1)),
+        ):
+            if 0 <= nx < side and 0 <= ny < side:
+                nbr = ny * side + nx
+                out_port, _ = net.connect(
+                    rid,
+                    nbr,
+                    kind="electrical",
+                    latency=1,
+                    cycles_per_flit=cycles_per_flit,
+                    length_mm=link_len,
+                )
+                port_map[(rid, direction)] = out_port
+
+    net.set_routing(CMeshRouting(net, side, port_map))
+    net.finalize()
+    return BuiltTopology(
+        network=net,
+        kind="cmesh",
+        params={"n_cores": n_cores, "side": side, "link_mm": link_len},
+        notes={
+            "max_radix": 4 + CONCENTRATION,
+            "diameter_hops": 2 * (side - 1),
+        },
+    )

@@ -1,0 +1,122 @@
+"""OptXB: the Corona-style all-optical crossbar baseline.
+
+"For the photonic crossbar (OptXB), we assume the 4 cores are concentrated
+together and the maximum diameter is one. ... We implement MWSR with token
+arbitration with a router radix of 67 (63 for the crossbar and 4 cores)."
+(Sec. V-A)
+
+Every router owns a *home waveguide* -- an MWSR bus all other routers write
+to, arbitrated by a circulating token. A packet takes exactly one network
+hop: source router -> destination router's home waveguide -> eject. The
+token transfer "consumes a few extra cycles" (Sec. V-B), captured by the
+medium's ``arb_latency``.
+
+The architecture is the paper's power-efficiency winner at 256 cores but
+its component count is the scalability objection: Sec. I counts ~7.3 M
+photodetectors at 1024x1024 (see ``repro.photonics.components``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.noc.links import SharedMedium
+from repro.noc.network import Network
+from repro.noc.router import Router, RoutingFunction
+from repro.topologies.base import (
+    BuiltTopology,
+    CONCENTRATION,
+    attach_concentrated_cores,
+    die_edge_for,
+    grid_position,
+    grid_side,
+    validate_core_count,
+)
+
+
+class OptXBRouting(RoutingFunction):
+    """Single-hop crossbar routing: write into the destination's waveguide."""
+
+    def __init__(self, net: Network, bus_port: Dict[Tuple[int, int], int]):
+        self.net = net
+        self.bus_port = bus_port  # (writer_rid, reader_rid) -> out_port
+
+    def compute(self, router: Router, packet) -> int:
+        dst_rid = self.net.core_router[packet.dst_core]
+        if dst_rid == router.rid:
+            return self.net.core_eject_port[packet.dst_core]
+        return self.bus_port[(router.rid, dst_rid)]
+
+
+def build_optxb(
+    n_cores: int = 256,
+    num_vcs: int = 4,
+    vc_depth: int = 8,
+    token_latency: int = 10,
+    waveguide_latency: int = 2,
+    cycles_per_flit: int = 4,
+) -> BuiltTopology:
+    """Build the optical-crossbar baseline.
+
+    Parameters
+    ----------
+    token_latency:
+        Cycles for the token to reach a granted writer ("a few extra
+        cycles", Sec. V-B). A circulating optical token over the 64-stop
+        ring averages ~half the ring at a few stops per cycle, hence the
+        default of 10. The token ablation bench sweeps this.
+    waveguide_latency:
+        Light propagation along the snake waveguide, in cycles.
+    cycles_per_flit:
+        Bisection equalisation (Sec. V-A): OptXB's cut counts 32 directed
+        home waveguides vs OWN's 8 wireless channels, so each waveguide is
+        slowed 4x to compare at equal bisection bandwidth. Pass 1 for the
+        raw network.
+    """
+    n_routers = validate_core_count(n_cores)
+    side = grid_side(n_routers)
+    die = die_edge_for(n_cores)
+    net = Network(f"optxb{n_cores}", n_cores, num_vcs=num_vcs, vc_depth=vc_depth)
+
+    for rid in range(n_routers):
+        net.add_router(position_mm=grid_position(rid, side, die), attrs={})
+    for rid in range(n_routers):
+        attach_concentrated_cores(net, rid, rid * CONCENTRATION)
+
+    # Snake waveguide length: it visits every router once (~n_routers *
+    # pitch); the loss/laser model consumes this.
+    snake_mm = die / side * n_routers
+
+    bus_port: Dict[Tuple[int, int], int] = {}
+    for reader in range(n_routers):
+        medium = SharedMedium(
+            f"wg{reader}", kind="photonic", arb_latency=token_latency, multicast_degree=1
+        )
+        writers = [w for w in range(n_routers) if w != reader]
+        ports = net.connect_bus(
+            writers,
+            reader,
+            kind="photonic",
+            medium=medium,
+            latency=waveguide_latency,
+            cycles_per_flit=cycles_per_flit,
+            length_mm=snake_mm,
+        )
+        for w, port in ports.items():
+            bus_port[(w, reader)] = port
+
+    net.set_routing(OptXBRouting(net, bus_port))
+    net.finalize()
+    return BuiltTopology(
+        network=net,
+        kind="optxb",
+        params={
+            "n_cores": n_cores,
+            "token_latency": token_latency,
+            "snake_mm": snake_mm,
+        },
+        notes={
+            "max_radix": (n_routers - 1) + CONCENTRATION,
+            "diameter_hops": 1,
+        },
+    )

@@ -1,0 +1,167 @@
+"""Wireless-CMESH: the WCube-style hybrid wired/wireless baseline.
+
+"Each wireless cluster has 4 routers connected by an electrical crossbar,
+and one router is a wireless router and 16 of the wireless clusters make up
+the 256-core chip. Wireless routing is implemented as XY DOR to prevent
+deadlocks and the maximum hop count is sqrt(n) where n is the number of
+routers. The radix of the wireless-CMESH is 11 (3 electrical, 4 wireless
+x-y and 4 cores)." (Sec. V-A)
+
+Wireless links here are dedicated point-to-point channels between adjacent
+wireless routers (FDM/SDM per WCube), so they need no token medium; they do
+pay wireless energy-per-bit in the power model, and inter-cluster packets
+navigate multiple wireless hops -- exactly the effect that makes wCMESH's
+1024-core wireless power dominate in Fig. 8(b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.noc.network import Network
+from repro.noc.router import Router, RoutingFunction
+from repro.topologies.base import (
+    BuiltTopology,
+    CONCENTRATION,
+    attach_concentrated_cores,
+    die_edge_for,
+    grid_position,
+    grid_side,
+    validate_core_count,
+)
+
+
+class WCMeshRouting(RoutingFunction):
+    """Intra-cluster electrical crossbar + inter-cluster wireless XY DOR."""
+
+    def __init__(
+        self,
+        net: Network,
+        side: int,
+        cluster_side: int,
+        elec_port: Dict[Tuple[int, int], int],
+        wireless_port: Dict[Tuple[int, str], int],
+        wireless_router: Dict[int, int],
+    ):
+        self.net = net
+        self.side = side
+        self.cluster_side = cluster_side
+        self.elec_port = elec_port  # (rid, peer_rid) -> out_port
+        self.wireless_port = wireless_port  # (wrid, direction) -> out_port
+        self.wireless_router = wireless_router  # cluster_id -> rid
+
+    def cluster_of(self, rid: int) -> int:
+        x, y = rid % self.side, rid // self.side
+        return (y // 2) * self.cluster_side + (x // 2)
+
+    def compute(self, router: Router, packet) -> int:
+        dst_rid = self.net.core_router[packet.dst_core]
+        rid = router.rid
+        if dst_rid == rid:
+            return self.net.core_eject_port[packet.dst_core]
+        src_cluster = self.cluster_of(rid)
+        dst_cluster = self.cluster_of(dst_rid)
+        if src_cluster == dst_cluster:
+            return self.elec_port[(rid, dst_rid)]
+        wrid = self.wireless_router[src_cluster]
+        if rid != wrid:
+            # Hop to the cluster's wireless router over the local crossbar.
+            return self.elec_port[(rid, wrid)]
+        # Wireless XY DOR over the cluster grid.
+        cs = self.cluster_side
+        cx, cy = src_cluster % cs, src_cluster // cs
+        dx, dy = dst_cluster % cs, dst_cluster // cs
+        if cx != dx:
+            direction = "E" if dx > cx else "W"
+        else:
+            direction = "S" if dy > cy else "N"
+        return self.wireless_port[(rid, direction)]
+
+
+def build_wcmesh(
+    n_cores: int = 256,
+    num_vcs: int = 4,
+    vc_depth: int = 8,
+    wireless_cycles_per_flit: int = 2,
+) -> BuiltTopology:
+    """Build the wireless-CMESH baseline.
+
+    ``wireless_cycles_per_flit`` equalises the wireless *spectrum budget*
+    with OWN: the 4x4 wireless grid has 48 directed links but only the same
+    16 Table III channels to share (FDM + SDM reuse recovers roughly a
+    third), so each grid link runs at half a flit per cycle. Pass 1 for an
+    idealised fully-provisioned grid.
+    """
+    n_routers = validate_core_count(n_cores)
+    side = grid_side(n_routers)
+    if side % 2 != 0:
+        raise ValueError(f"wcmesh needs an even router-grid side, got {side}")
+    cluster_side = side // 2
+    die = die_edge_for(n_cores)
+    net = Network(f"wcmesh{n_cores}", n_cores, num_vcs=num_vcs, vc_depth=vc_depth)
+
+    for rid in range(n_routers):
+        net.add_router(position_mm=grid_position(rid, side, die), attrs={})
+    for rid in range(n_routers):
+        attach_concentrated_cores(net, rid, rid * CONCENTRATION)
+
+    def cluster_members(cluster: int) -> list:
+        cx, cy = cluster % cluster_side, cluster // cluster_side
+        return [
+            (2 * cy + j) * side + (2 * cx + i) for j in range(2) for i in range(2)
+        ]
+
+    n_clusters = cluster_side * cluster_side
+    elec_port: Dict[Tuple[int, int], int] = {}
+    wireless_router: Dict[int, int] = {}
+    link_len = die / side
+
+    for cluster in range(n_clusters):
+        members = cluster_members(cluster)
+        wireless_router[cluster] = members[0]  # top-left router hosts the antenna
+        # Full electrical crossbar among the 4 cluster routers.
+        for a in members:
+            for b in members:
+                if a != b:
+                    out_port, _ = net.connect(
+                        a, b, kind="electrical", latency=1, length_mm=link_len
+                    )
+                    elec_port[(a, b)] = out_port
+
+    # Wireless XY grid among the clusters' wireless routers.
+    wireless_port: Dict[Tuple[int, str], int] = {}
+    cluster_pitch = die / cluster_side
+    for cluster in range(n_clusters):
+        cx, cy = cluster % cluster_side, cluster // cluster_side
+        wrid = wireless_router[cluster]
+        for direction, (nx, ny) in (
+            ("E", (cx + 1, cy)),
+            ("W", (cx - 1, cy)),
+            ("S", (cx, cy + 1)),
+            ("N", (cx, cy - 1)),
+        ):
+            if 0 <= nx < cluster_side and 0 <= ny < cluster_side:
+                nbr_cluster = ny * cluster_side + nx
+                out_port, _ = net.connect(
+                    wrid,
+                    wireless_router[nbr_cluster],
+                    kind="wireless",
+                    latency=1,
+                    cycles_per_flit=wireless_cycles_per_flit,
+                    length_mm=cluster_pitch,
+                )
+                wireless_port[(wrid, direction)] = out_port
+
+    net.set_routing(
+        WCMeshRouting(net, side, cluster_side, elec_port, wireless_port, wireless_router)
+    )
+    net.finalize()
+    return BuiltTopology(
+        network=net,
+        kind="wcmesh",
+        params={"n_cores": n_cores, "clusters": n_clusters, "cluster_pitch_mm": cluster_pitch},
+        notes={
+            "max_radix": 3 + 4 + CONCENTRATION,  # 3 electrical + 4 wireless + 4 cores
+            "wireless_routers": n_clusters,
+        },
+    )

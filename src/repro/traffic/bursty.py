@@ -1,0 +1,187 @@
+"""Bursty and application-like traffic (beyond the paper's five patterns).
+
+The paper evaluates synthetic traffic only and defers "real workloads" to
+future work. As a step in that direction this module provides two
+generators whose statistics are the standard stand-ins for application
+traffic in the NoC literature:
+
+* :class:`BurstyTraffic` -- per-core two-state Markov-modulated Bernoulli
+  (ON/OFF) sources. Burstiness is controlled by the burst factor (ON-state
+  rate over mean rate) and mean burst length; the long-run offered load
+  matches ``injection_rate`` exactly, so results are comparable with the
+  uniform Bernoulli runs at the same x-axis point.
+* :class:`ApplicationTraffic` -- a crude shared-memory sharing pattern:
+  each core picks a small working set of "home" cores (directory / LLC
+  slices) that attract most of its packets, plus uniform background. This
+  produces the hot-node skew real directory protocols show.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.noc.packet import Packet
+from repro.traffic.patterns import TrafficPattern
+from repro.utils.rng import RngStreams
+from repro.utils.validation import check_in_range, check_positive, check_probability
+
+
+class BurstyTraffic:
+    """Markov-modulated (ON/OFF) Bernoulli sources.
+
+    Parameters
+    ----------
+    n_cores, pattern, injection_rate, packet_size_flits, seed:
+        As in :class:`~repro.traffic.generator.SyntheticTraffic`; the
+        *long-run* offered load equals ``injection_rate``.
+    burst_factor:
+        Ratio of the ON-state rate to the mean rate (>= 1). A factor of 1
+        degenerates to plain Bernoulli.
+    mean_burst_cycles:
+        Expected ON-period length; the OFF-period length follows from the
+        duty cycle needed to hit the mean rate.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        pattern: "TrafficPattern | str",
+        injection_rate: float,
+        packet_size_flits: int = 4,
+        seed: int = 1,
+        burst_factor: float = 4.0,
+        mean_burst_cycles: float = 20.0,
+        stop_cycle: Optional[int] = None,
+    ) -> None:
+        check_positive("n_cores", n_cores)
+        check_probability("injection_rate", injection_rate)
+        check_positive("packet_size_flits", packet_size_flits)
+        if burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {burst_factor}")
+        check_positive("mean_burst_cycles", mean_burst_cycles)
+        if isinstance(pattern, str):
+            pattern = TrafficPattern(pattern, n_cores)
+        self.n_cores = n_cores
+        self.pattern = pattern
+        self.injection_rate = injection_rate
+        self.packet_size_flits = packet_size_flits
+        self.burst_factor = burst_factor
+        self.stop_cycle = stop_cycle
+
+        on_rate = min(1.0, injection_rate * burst_factor)
+        self._p_start_on = on_rate / packet_size_flits
+        duty = injection_rate / on_rate if on_rate > 0 else 0.0
+        # Two-state Markov chain: P(stay ON) from the burst length, P(OFF ->
+        # ON) from the stationary duty cycle duty = p_on_entry /
+        # (p_on_entry + p_on_exit). A duty of 1 (burst_factor 1, or a rate
+        # too high to boost) degenerates to always-ON plain Bernoulli.
+        if duty >= 1.0:
+            self._p_exit_on = 0.0
+            self._p_enter_on = 1.0
+        else:
+            self._p_exit_on = 1.0 / mean_burst_cycles
+            self._p_enter_on = min(
+                1.0, self._p_exit_on * duty / (1.0 - duty)
+            )
+
+        self._rng = RngStreams(seed).get("bursty", pattern.name)
+        # Start each source in its stationary state.
+        self._on = self._rng.random(n_cores) < duty
+        self.packets_generated = 0
+
+    def tick(self, now: int) -> List[Packet]:
+        if self.stop_cycle is not None and now >= self.stop_cycle:
+            return []
+        rng = self._rng
+        # State transitions.
+        flips = rng.random(self.n_cores)
+        turning_off = self._on & (flips < self._p_exit_on)
+        turning_on = (~self._on) & (flips < self._p_enter_on)
+        self._on ^= turning_off | turning_on
+        # ON sources draw at the boosted rate.
+        draws = rng.random(self.n_cores)
+        sources = np.nonzero(self._on & (draws < self._p_start_on))[0]
+        if sources.size == 0:
+            return []
+        dsts = self.pattern.destinations(sources, rng)
+        packets = [
+            Packet(int(s), int(d), self.packet_size_flits, now)
+            for s, d in zip(sources, dsts)
+            if s != d
+        ]
+        self.packets_generated += len(packets)
+        return packets
+
+    @property
+    def fraction_on(self) -> float:
+        """Instantaneous share of sources in the ON state."""
+        return float(np.mean(self._on))
+
+
+class ApplicationTraffic:
+    """Directory-style sharing skew: hot working set + uniform background.
+
+    Parameters
+    ----------
+    working_set:
+        Number of home cores each source predominantly talks to.
+    locality:
+        Probability a packet targets the working set (rest is uniform).
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        injection_rate: float,
+        packet_size_flits: int = 4,
+        seed: int = 1,
+        working_set: int = 4,
+        locality: float = 0.7,
+        stop_cycle: Optional[int] = None,
+    ) -> None:
+        check_positive("n_cores", n_cores)
+        check_probability("injection_rate", injection_rate)
+        check_positive("packet_size_flits", packet_size_flits)
+        check_positive("working_set", working_set)
+        check_probability("locality", locality)
+        if working_set >= n_cores:
+            raise ValueError("working_set must be smaller than the core count")
+        self.n_cores = n_cores
+        self.injection_rate = injection_rate
+        self.packet_size_flits = packet_size_flits
+        self.locality = locality
+        self.stop_cycle = stop_cycle
+        self._p_start = injection_rate / packet_size_flits
+        self._rng = RngStreams(seed).get("app")
+        # Fixed per-core working sets (never containing the core itself).
+        homes = np.empty((n_cores, working_set), dtype=np.int64)
+        for core in range(n_cores):
+            candidates = self._rng.permutation(n_cores - 1)[:working_set]
+            homes[core] = np.where(candidates >= core, candidates + 1, candidates)
+        self._homes = homes
+        self.packets_generated = 0
+
+    def tick(self, now: int) -> List[Packet]:
+        if self.stop_cycle is not None and now >= self.stop_cycle:
+            return []
+        rng = self._rng
+        draws = rng.random(self.n_cores)
+        sources = np.nonzero(draws < self._p_start)[0]
+        if sources.size == 0:
+            return []
+        use_home = rng.random(sources.size) < self.locality
+        home_pick = rng.integers(0, self._homes.shape[1], size=sources.size)
+        uniform = rng.integers(0, self.n_cores, size=sources.size)
+        dsts = np.where(use_home, self._homes[sources, home_pick], uniform)
+        packets = [
+            Packet(int(s), int(d), self.packet_size_flits, now)
+            for s, d in zip(sources, dsts)
+            if s != d
+        ]
+        self.packets_generated += len(packets)
+        return packets
+
+    def homes_of(self, core: int) -> Sequence[int]:
+        return self._homes[core].tolist()

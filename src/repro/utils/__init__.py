@@ -1,0 +1,42 @@
+"""Shared utilities: unit conversions, RNG stream management, validation.
+
+These helpers are deliberately dependency-light; they are used by every
+other subpackage (``repro.noc``, ``repro.rf``, ``repro.power`` ...).
+"""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    ghz,
+    mhz,
+    mm,
+    SPEED_OF_LIGHT_M_S,
+    BOLTZMANN_J_K,
+)
+from repro.utils.rng import RngStreams, derive_seed
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+)
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "ghz",
+    "mhz",
+    "mm",
+    "SPEED_OF_LIGHT_M_S",
+    "BOLTZMANN_J_K",
+    "RngStreams",
+    "derive_seed",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]

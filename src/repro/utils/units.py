@@ -1,0 +1,109 @@
+"""Unit conversions and physical constants used across the RF and power models.
+
+The wireless link-budget math (Fig. 3 of the paper) works in dB / dBm while
+the power-accounting pipeline works in watts and joules; these helpers keep
+the conversions in one audited place.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s]; used by the Friis free-space path loss.
+SPEED_OF_LIGHT_M_S: float = 299_792_458.0
+
+#: Boltzmann constant [J/K]; used for thermal-noise floor computation.
+BOLTZMANN_J_K: float = 1.380_649e-23
+
+#: Reference room temperature [K] for noise calculations.
+ROOM_TEMPERATURE_K: float = 290.0
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio.
+
+    >>> db_to_linear(3.0103)  # doctest: +ELLIPSIS
+    2.0...
+    """
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not strictly positive (log of non-positive power
+        ratio is undefined).
+    """
+    if value <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {value!r} in dB")
+    return 10.0 * math.log10(value)
+
+
+def dbm_to_watts(value_dbm: float) -> float:
+    """Convert a power level in dBm (dB relative to 1 mW) to watts.
+
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return 1e-3 * db_to_linear(value_dbm)
+
+
+def watts_to_dbm(value_w: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If ``value_w`` is not strictly positive.
+    """
+    if value_w <= 0.0:
+        raise ValueError(f"cannot express non-positive power {value_w!r} in dBm")
+    return linear_to_db(value_w / 1e-3)
+
+
+def ghz(value: float) -> float:
+    """Express ``value`` GHz in Hz."""
+    return value * 1e9
+
+
+def mhz(value: float) -> float:
+    """Express ``value`` MHz in Hz."""
+    return value * 1e6
+
+
+def mm(value: float) -> float:
+    """Express ``value`` millimetres in metres."""
+    return value * 1e-3
+
+
+def wavelength_m(frequency_hz: float) -> float:
+    """Free-space wavelength for a carrier at ``frequency_hz``.
+
+    Raises
+    ------
+    ValueError
+        If the frequency is not strictly positive.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT_M_S / frequency_hz
+
+
+def thermal_noise_dbm(bandwidth_hz: float, temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Thermal noise floor ``kTB`` expressed in dBm.
+
+    Used by :mod:`repro.rf.budget` to derive receiver sensitivity.
+
+    Raises
+    ------
+    ValueError
+        If bandwidth or temperature is not strictly positive.
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k!r}")
+    return watts_to_dbm(BOLTZMANN_J_K * temperature_k * bandwidth_hz)

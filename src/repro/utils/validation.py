@@ -1,0 +1,49 @@
+"""Small argument-validation helpers.
+
+Simulator configuration errors should fail fast with a precise message at
+construction time rather than surfacing as confusing mid-simulation state;
+these helpers keep that checking terse at the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Require ``value >= 0``; return it for chaining."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: Number, lo: Number, hi: Number) -> Number:
+    """Require ``lo <= value <= hi``; return it for chaining."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> Number:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two; return it.
+
+    Several synthetic permutations (bit-reversal, perfect shuffle) are only
+    defined on power-of-two node counts.
+    """
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value

@@ -1,0 +1,98 @@
+"""Bisection accounting and the lightweight experiment runners."""
+
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    bisection_report,
+    measure_bisection,
+    table1_channels,
+    table2_channels_1024,
+    table3_wireless_tech,
+    table4_configs,
+    fig3_link_budget,
+    fig4_transceiver,
+    ablation_sdm_channels,
+)
+from repro.core import build_own256
+from repro.topologies import build_cmesh, build_optxb, build_wcmesh
+
+
+class TestBisection:
+    def test_own256_eight_wireless_channels_cross(self):
+        entry = measure_bisection(build_own256())
+        # The vertical mid-cut crosses the 4 C2C + 4 E2E directed channels.
+        assert entry.crossing_channels == 8
+
+    def test_cmesh_sixteen_links_cross(self):
+        entry = measure_bisection(build_cmesh(256))
+        assert entry.crossing_channels == 16
+        assert entry.cycles_per_flit == 3
+
+    def test_wcmesh_eight_wireless_cross(self):
+        entry = measure_bisection(build_wcmesh(256))
+        # 4 clusters per side boundary x 2 directions.
+        assert entry.crossing_channels == 8
+
+    def test_optxb_crossing_waveguides(self):
+        entry = measure_bisection(build_optxb(64))
+        # Every home waveguide has writers on both sides -> all 16 count.
+        assert entry.crossing_channels == 16
+        assert entry.cycles_per_flit == 4
+
+    def test_equalized_cut_capacity_similar(self):
+        """The headline fairness property: after the configured delays, cut
+        capacities sit within ~2x of the OWN reference."""
+        entries = bisection_report(
+            [build_own256(), build_cmesh(256), build_wcmesh(256)]
+        )
+        caps = {e.name: e.equalized_flits_per_cycle for e in entries}
+        ref = caps["own256"]
+        for cap in caps.values():
+            assert 0.5 * ref <= cap <= 2.0 * ref
+
+    def test_raw_bandwidth_reported(self):
+        entry = measure_bisection(build_cmesh(256))
+        assert entry.raw_gbps == pytest.approx(16 * 320.0)
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_covered(self):
+        for key in ("table1", "table2", "table3", "table4",
+                    "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7bc",
+                    "fig8a", "fig8b"):
+            assert key in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        for key in ("ablation_token", "ablation_antenna", "ablation_sdm",
+                    "ablation_radix"):
+            assert key in EXPERIMENTS
+
+
+class TestLightRunners:
+    """Static runners (no simulation) execute fully in tests."""
+
+    @pytest.mark.parametrize("runner,n_rows", [
+        (table1_channels, 12),
+        (table2_channels_1024, 16),
+        (table3_wireless_tech, 32),
+        (table4_configs, 8),
+        (fig3_link_budget, 7),
+    ])
+    def test_row_counts(self, runner, n_rows):
+        result = runner()
+        assert len(result.rows) == n_rows
+
+    def test_rendered_contains_title(self):
+        result = table1_channels()
+        assert result.rendered.startswith("Table I")
+
+    def test_fig4_notes(self):
+        notes = fig4_transceiver().notes
+        assert abs(notes["osc_freq_ghz"] - 90.0) < 0.5
+        assert abs(notes["lna_peak_gain_db"] - 10.0) < 0.1
+
+    def test_sdm_ablation(self):
+        result = ablation_sdm_channels()
+        assert len(result.rows) == 4
+        assert result.notes["n_groups"] >= 3

@@ -1,0 +1,151 @@
+"""Wireless channel allocation: Table I / Table II reconstructions + SDM."""
+
+import pytest
+
+from repro.core.channels import (
+    CLUSTER_PAIR_ANTENNAS,
+    GROUP_OFFSET_ANTENNA,
+    channel_segments,
+    own1024_channel_map,
+    own1024_channels,
+    own256_channel_map,
+    own256_channels,
+    sdm_frequency_reuse_groups,
+)
+
+
+class TestOwn256Channels:
+    def test_twelve_channels(self):
+        assert len(own256_channels()) == 12
+
+    def test_every_ordered_cluster_pair_served(self):
+        cmap = own256_channel_map()
+        pairs = {(s, d) for s in range(4) for d in range(4) if s != d}
+        assert set(cmap.keys()) == pairs
+
+    def test_paper_pairs(self):
+        """The exact Table I antenna pairings."""
+        cmap = own256_channel_map()
+        assert (cmap[(0, 2)].tx, cmap[(0, 2)].rx) == ("A", "B")
+        assert (cmap[(2, 0)].tx, cmap[(2, 0)].rx) == ("B", "A")
+        assert (cmap[(3, 1)].tx, cmap[(3, 1)].rx) == ("A", "B")
+        assert (cmap[(0, 1)].tx, cmap[(0, 1)].rx) == ("B", "A")
+        assert (cmap[(0, 3)].tx, cmap[(0, 3)].rx) == ("C", "C")
+        assert (cmap[(1, 2)].tx, cmap[(1, 2)].rx) == ("C", "C")
+
+    def test_class_per_pair(self):
+        cmap = own256_channel_map()
+        assert cmap[(0, 2)].distance_class == "C2C"
+        assert cmap[(3, 1)].distance_class == "C2C"
+        assert cmap[(0, 1)].distance_class == "E2E"
+        assert cmap[(2, 3)].distance_class == "E2E"
+        assert cmap[(0, 3)].distance_class == "SR"
+        assert cmap[(1, 2)].distance_class == "SR"
+
+    def test_channel_indices_longest_first(self):
+        chans = own256_channels()
+        classes = [c.distance_class for c in sorted(chans, key=lambda c: c.channel_index)]
+        assert classes == ["C2C"] * 4 + ["E2E"] * 4 + ["SR"] * 4
+
+    def test_reverse_channels_exist(self):
+        cmap = own256_channel_map()
+        for (s, d) in cmap:
+            assert (d, s) in cmap
+
+    def test_d_antennas_not_used_inter_cluster(self):
+        for ch in own256_channels():
+            assert ch.tx != "D" and ch.rx != "D"
+
+
+class TestOwn1024Channels:
+    def test_sixteen_channels(self):
+        assert len(own1024_channels()) == 16
+
+    def test_twelve_inter_four_intra(self):
+        chans = own1024_channels()
+        inter = [c for c in chans if c.src_group != c.dst_group]
+        intra = [c for c in chans if c.src_group == c.dst_group]
+        assert len(inter) == 12 and len(intra) == 4
+
+    def test_all_multicast(self):
+        assert all(c.multicast for c in own1024_channels())
+
+    def test_antenna_letter_by_offset(self):
+        cmap = own1024_channel_map()
+        for g in range(4):
+            for offset, letter in GROUP_OFFSET_ANTENNA.items():
+                ch = cmap[(g, (g + offset) % 4)]
+                assert ch.tx == letter == ch.rx
+
+    def test_intra_group_on_d_antennas_high_bands(self):
+        cmap = own1024_channel_map()
+        for g in range(4):
+            ch = cmap[(g, g)]
+            assert ch.tx == "D"
+            assert 13 <= ch.channel_index <= 16
+
+    def test_group0_to_group1_uses_A(self):
+        """Table II's worked example."""
+        ch = own1024_channel_map()[(0, 1)]
+        assert ch.tx == "A"
+
+    def test_group_distance_classes(self):
+        cmap = own1024_channel_map()
+        assert cmap[(0, 2)].distance_class == "C2C"  # diagonal
+        assert cmap[(0, 1)].distance_class == "E2E"  # horizontal
+        assert cmap[(0, 3)].distance_class == "SR"  # vertical (3D stacked)
+
+    def test_unique_channel_indices(self):
+        indices = [c.channel_index for c in own1024_channels()]
+        assert sorted(indices) == list(range(1, 17))
+
+
+class TestSDM:
+    def test_segments_for_all_channels(self):
+        assert len(channel_segments()) == 12
+
+    def test_reuse_groups_partition_channels(self):
+        groups = sdm_frequency_reuse_groups()
+        flattened = [name for g in groups for name in g]
+        assert sorted(flattened) == sorted(channel_segments().keys())
+
+    def test_groups_internally_non_intersecting(self):
+        """Every reuse group must be pairwise non-crossing (validity)."""
+        from repro.core.floorplan import segments_intersect
+
+        segs = channel_segments()
+        for group in sdm_frequency_reuse_groups():
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    assert not segments_intersect(*segs[a], *segs[b]), (a, b)
+
+    def test_paper_reuse_pairs_are_compatible(self):
+        """Sec. V-B's examples: B3->A2 / B0->A1 and C0->C3 / C1->C2 do not
+        intersect, so each pair may share one carrier."""
+        from repro.core.floorplan import segments_intersect
+
+        segs = channel_segments()
+        assert not segments_intersect(*segs["B3->A2"], *segs["B0->A1"])
+        assert not segments_intersect(*segs["C0->C3"], *segs["C1->C2"])
+
+    def test_reverse_channels_never_share_a_group(self):
+        """A channel and its reverse share the full path: same group is
+        physically invalid."""
+        for group in sdm_frequency_reuse_groups():
+            for name in group:
+                src, dst = name.split("->")
+                assert f"{dst}->{src}" not in group
+
+    def test_crossing_diagonals_in_different_groups(self):
+        groups = sdm_frequency_reuse_groups()
+        for g in groups:
+            assert not ("A0->B2" in g and "A3->B1" in g)
+
+    def test_reuse_reduces_channel_count(self):
+        groups = sdm_frequency_reuse_groups()
+        assert len(groups) < 12  # SDM buys at least a few frequencies back
+
+
+class TestPairTable:
+    def test_twelve_ordered_pairs(self):
+        assert len(CLUSTER_PAIR_ANTENNAS) == 12

@@ -1,0 +1,65 @@
+"""(g, c, t, p) addressing: anchors + roundtrip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.coords import OWN1024_DIMS, OWN256_DIMS, OwnDims
+
+
+class TestDims:
+    def test_paper_instances(self):
+        assert OWN256_DIMS.n_cores == 256
+        assert OWN256_DIMS.n_routers == 64
+        assert OWN1024_DIMS.n_cores == 1024
+        assert OWN1024_DIMS.n_routers == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OwnDims(groups=0)
+
+    def test_core_zero(self):
+        assert OWN256_DIMS.core_to_quad(0) == (0, 0, 0, 0)
+
+    def test_core_last(self):
+        assert OWN1024_DIMS.core_to_quad(1023) == (3, 3, 15, 3)
+
+    def test_mixed_radix_order(self):
+        # Core id increments fastest in p, then t, then c, then g.
+        assert OWN256_DIMS.core_to_quad(1) == (0, 0, 0, 1)
+        assert OWN256_DIMS.core_to_quad(4) == (0, 0, 1, 0)
+        assert OWN256_DIMS.core_to_quad(64) == (0, 1, 0, 0)
+        assert OWN1024_DIMS.core_to_quad(256) == (1, 0, 0, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            OWN256_DIMS.core_to_quad(256)
+        with pytest.raises(ValueError):
+            OWN256_DIMS.core_to_quad(-1)
+        with pytest.raises(ValueError):
+            OWN256_DIMS.quad_to_core(1, 0, 0, 0)  # only 1 group at 256
+        with pytest.raises(ValueError):
+            OWN256_DIMS.router_to_gct(64)
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_core_roundtrip_1024(self, core):
+        g, c, t, p = OWN1024_DIMS.core_to_quad(core)
+        assert OWN1024_DIMS.quad_to_core(g, c, t, p) == core
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_router_roundtrip_1024(self, rid):
+        g, c, t = OWN1024_DIMS.router_to_gct(rid)
+        assert OWN1024_DIMS.gct_to_router(g, c, t) == rid
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_router_of_core_consistent(self, core):
+        dims = OWN1024_DIMS
+        g, c, t, _ = dims.core_to_quad(core)
+        assert dims.router_of_core(core) == dims.gct_to_router(g, c, t)
+
+    def test_quad_component_validation(self):
+        with pytest.raises(ValueError):
+            OWN256_DIMS.quad_to_core(0, 4, 0, 0)
+        with pytest.raises(ValueError):
+            OWN256_DIMS.quad_to_core(0, 0, 16, 0)
+        with pytest.raises(ValueError):
+            OWN256_DIMS.quad_to_core(0, 0, 0, 4)

@@ -1,0 +1,135 @@
+"""Floorplan geometry: antenna placement, distances, SDM intersection."""
+
+import pytest
+
+from repro.core.floorplan import (
+    ANTENNA_LETTERS,
+    CLUSTER_EDGE_MM,
+    CORNER_TILE,
+    LD_FACTOR,
+    NOMINAL_DISTANCE_MM,
+    all_antennas,
+    antenna,
+    classify_distance,
+    corner_position_mm,
+    distance_mm,
+    segments_intersect,
+    tile_position_mm,
+)
+
+
+class TestAntennas:
+    def test_sixteen_antennas(self):
+        ants = all_antennas()
+        assert len(ants) == 16
+        assert {a.name for a in ants} == {
+            f"{l}{c}" for c in range(4) for l in ANTENNA_LETTERS
+        }
+
+    def test_each_cluster_has_four_distinct_corners(self):
+        for cluster in range(4):
+            corners = {antenna(cluster, l).corner for l in ANTENNA_LETTERS}
+            assert corners == {"TL", "TR", "BL", "BR"}
+
+    def test_antenna_tile_is_a_corner_tile(self):
+        for a in all_antennas():
+            assert a.tile in CORNER_TILE.values()
+
+    def test_positions_inside_cluster(self):
+        for a in all_antennas():
+            x, y = a.position_mm
+            assert 0 <= x <= 2 * CLUSTER_EDGE_MM
+            assert 0 <= y <= 2 * CLUSTER_EDGE_MM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            antenna(4, "A")
+        with pytest.raises(ValueError):
+            antenna(0, "E")
+
+
+class TestDistanceClasses:
+    def test_table1_pairs_fall_in_their_classes(self):
+        # The Table I pairs must land in their published classes.
+        expected = {
+            ("A0", "B2"): "C2C",
+            ("A3", "B1"): "C2C",
+            ("A1", "B0"): "E2E",
+            ("A2", "B3"): "E2E",
+            ("C0", "C3"): "SR",
+            ("C1", "C2"): "SR",
+        }
+        ants = {a.name: a for a in all_antennas()}
+        for (x, y), cls in expected.items():
+            d = distance_mm(ants[x], ants[y])
+            assert classify_distance(d) == cls, (x, y, d)
+
+    def test_c2c_near_60mm(self):
+        ants = {a.name: a for a in all_antennas()}
+        d = distance_mm(ants["A0"], ants["B2"])
+        assert 55 <= d <= 70
+
+    def test_ld_factors_match_paper(self):
+        assert LD_FACTOR == {"C2C": 1.0, "E2E": 0.5, "SR": 0.15}
+
+    def test_nominal_distances(self):
+        assert NOMINAL_DISTANCE_MM == {"C2C": 60.0, "E2E": 30.0, "SR": 10.0}
+
+    def test_classify_thresholds(self):
+        assert classify_distance(60.0) == "C2C"
+        assert classify_distance(30.0) == "E2E"
+        assert classify_distance(5.0) == "SR"
+        assert classify_distance(45.0) == "C2C"
+        assert classify_distance(10.0) == "SR"
+
+
+class TestTilePositions:
+    def test_tile_grid_within_cluster(self):
+        for cluster in range(4):
+            for tile in range(16):
+                x, y = tile_position_mm(cluster, tile)
+                assert 0 <= x <= 2 * CLUSTER_EDGE_MM
+                assert 0 <= y <= 2 * CLUSTER_EDGE_MM
+
+    def test_tile_zero_top_left_of_cluster_zero(self):
+        x, y = tile_position_mm(0, 0)
+        assert x < CLUSTER_EDGE_MM / 2 and y < CLUSTER_EDGE_MM / 2
+
+    def test_tile_out_of_range(self):
+        with pytest.raises(ValueError):
+            tile_position_mm(0, 16)
+
+    def test_corner_positions_distinct(self):
+        pts = {corner_position_mm(0, c) for c in ("TL", "TR", "BL", "BR")}
+        assert len(pts) == 4
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (10, 10), (0, 10), (10, 0))
+
+    def test_parallel_non_crossing(self):
+        assert not segments_intersect((0, 0), (10, 0), (0, 5), (10, 5))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 1), (5, 5), (6, 6))
+
+    def test_t_shape_touch_not_counted(self):
+        # Endpoint touching is not a strict crossing (good enough for SDM).
+        assert not segments_intersect((0, 0), (10, 0), (5, 0), (5, 10))
+
+    def test_sdm_example_from_paper(self):
+        """Sec. V-B: B3->A2 and B0->A1 do not intersect."""
+        ants = {a.name: a for a in all_antennas()}
+        assert not segments_intersect(
+            ants["B3"].position_mm, ants["A2"].position_mm,
+            ants["B0"].position_mm, ants["A1"].position_mm,
+        )
+
+    def test_diagonals_do_intersect(self):
+        """The two C2C diagonals cross at the chip centre."""
+        ants = {a.name: a for a in all_antennas()}
+        assert segments_intersect(
+            ants["A0"].position_mm, ants["B2"].position_mm,
+            ants["A3"].position_mm, ants["B1"].position_mm,
+        )

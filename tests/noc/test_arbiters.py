@@ -1,0 +1,118 @@
+"""Arbiter correctness and fairness, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.arbiters import MatrixArbiter, RoundRobinArbiter, make_arbiter
+
+
+class TestRoundRobin:
+    def test_no_request_no_grant(self):
+        assert RoundRobinArbiter(4).grant([False] * 4) is None
+
+    def test_single_requester_wins(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False, False, True, False]) == 2
+
+    def test_rotation_after_grant(self):
+        arb = RoundRobinArbiter(3)
+        all_req = [True, True, True]
+        assert arb.grant(all_req) == 0
+        assert arb.grant(all_req) == 1
+        assert arb.grant(all_req) == 2
+        assert arb.grant(all_req) == 0
+
+    def test_strong_fairness(self):
+        """Every continuously-requesting input is served within n grants."""
+        n = 5
+        arb = RoundRobinArbiter(n)
+        served = set()
+        for _ in range(n):
+            served.add(arb.grant([True] * n))
+        assert served == set(range(n))
+
+    def test_peek_does_not_advance(self):
+        arb = RoundRobinArbiter(3)
+        req = [True, True, True]
+        assert arb.peek(req) == 0
+        assert arb.peek(req) == 0
+        assert arb.grant(req) == 0
+
+    def test_reset(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([True] * 3)
+        arb.reset()
+        assert arb.grant([True] * 3) == 0
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4).grant([True] * 3)
+
+    def test_zero_requesters_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    def test_grant_is_always_a_requester(self, requests):
+        arb = RoundRobinArbiter(len(requests))
+        winner = arb.grant(requests)
+        if any(requests):
+            assert winner is not None and requests[winner]
+        else:
+            assert winner is None
+
+
+class TestMatrixArbiter:
+    def test_single_requester_wins(self):
+        assert MatrixArbiter(4).grant([False, True, False, False]) == 1
+
+    def test_least_recently_served(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([True, True, True]) == 0
+        # 0 just served -> lowest priority; 1 wins next.
+        assert arb.grant([True, True, True]) == 1
+        assert arb.grant([True, True, True]) == 2
+        assert arb.grant([True, True, True]) == 0
+
+    def test_winner_loses_priority_even_if_others_idle(self):
+        arb = MatrixArbiter(2)
+        assert arb.grant([True, False]) == 0
+        # Now 1 has precedence when both request.
+        assert arb.grant([True, True]) == 1
+
+    def test_reset(self):
+        arb = MatrixArbiter(3)
+        arb.grant([True, True, True])
+        arb.reset()
+        assert arb.grant([True, True, True]) == 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=10))
+    def test_grant_is_always_a_requester(self, requests):
+        arb = MatrixArbiter(len(requests))
+        winner = arb.grant(requests)
+        if any(requests):
+            assert winner is not None and requests[winner]
+        else:
+            assert winner is None
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=200))
+    def test_fairness_under_full_load(self, n, rounds):
+        """Under continuous full request, grants are evenly distributed."""
+        arb = MatrixArbiter(n)
+        counts = [0] * n
+        total = n * 4 + rounds % n
+        for _ in range(total):
+            counts[arb.grant([True] * n)] += 1
+        assert max(counts) - min(counts) <= 1
+
+
+class TestFactory:
+    def test_round_robin(self):
+        assert isinstance(make_arbiter("round_robin", 3), RoundRobinArbiter)
+
+    def test_matrix(self):
+        assert isinstance(make_arbiter("matrix", 3), MatrixArbiter)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_arbiter("nope", 3)

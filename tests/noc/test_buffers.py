@@ -1,0 +1,89 @@
+"""Virtual-channel buffer and input-port behaviour."""
+
+import pytest
+
+from repro.noc.buffers import InputPort, VCState, VirtualChannel
+from repro.noc.packet import Packet, reset_packet_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_packet_ids()
+
+
+def flits(n=4):
+    return Packet(0, 1, n, 0).make_flits()
+
+
+class TestVirtualChannel:
+    def test_initial_state(self):
+        vc = VirtualChannel(2, 4)
+        assert vc.state is VCState.IDLE
+        assert not vc.occupied
+        assert vc.free_slots == 4
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(0, 0)
+
+    def test_fifo_order(self):
+        vc = VirtualChannel(0, 4)
+        fs = flits(4)
+        for f in fs:
+            vc.push(f)
+        assert vc.front() is fs[0]
+        assert [vc.pop() for _ in range(4)] == fs
+
+    def test_overflow_is_a_hard_error(self):
+        vc = VirtualChannel(0, 2)
+        fs = flits(3)
+        vc.push(fs[0])
+        vc.push(fs[1])
+        with pytest.raises(RuntimeError, match="overflow"):
+            vc.push(fs[2])
+
+    def test_release_resets_route_state(self):
+        vc = VirtualChannel(0, 4)
+        vc.state = VCState.ACTIVE
+        vc.out_port = 3
+        vc.out_vc = 1
+        vc.release()
+        assert vc.state is VCState.IDLE
+        assert vc.out_port is None and vc.out_vc is None and vc.endpoint is None
+
+    def test_free_slots_tracks_occupancy(self):
+        vc = VirtualChannel(0, 4)
+        fs = flits(2)
+        vc.push(fs[0])
+        assert vc.free_slots == 3
+        vc.push(fs[1])
+        assert vc.free_slots == 2
+        vc.pop()
+        assert vc.free_slots == 3
+
+
+class TestInputPort:
+    def test_geometry(self):
+        port = InputPort(1, num_vcs=4, vc_depth=8, kind="photonic")
+        assert port.num_vcs == 4
+        assert all(vc.depth == 8 for vc in port.vcs)
+        assert port.kind == "photonic"
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ValueError):
+            InputPort(0, num_vcs=0, vc_depth=4)
+
+    def test_occupied_vcs(self):
+        port = InputPort(0, num_vcs=3, vc_depth=4)
+        assert port.occupied_vcs() == []
+        port.vcs[1].push(flits(1)[0])
+        occ = port.occupied_vcs()
+        assert len(occ) == 1 and occ[0].index == 1
+
+    def test_total_occupancy(self):
+        port = InputPort(0, num_vcs=2, vc_depth=4)
+        fs = flits(3)
+        port.vcs[0].push(fs[0])
+        port.vcs[0].push(fs[1])
+        port.vcs[1].push(fs[2])
+        assert port.total_occupancy() == 3

@@ -1,0 +1,185 @@
+"""End-to-end smoke tests of the NoC substrate on tiny hand-built networks.
+
+These tests pin the simulator's basic contracts before any topology builder
+exists: packets traverse point-to-point links, MWSR buses and multicast
+channels; latency accounting and credits behave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc import (
+    Network,
+    Packet,
+    RoutingFunction,
+    SharedMedium,
+    Simulator,
+    reset_packet_ids,
+)
+from repro.traffic import ScriptedTraffic
+
+
+class TwoRouterRouting(RoutingFunction):
+    """Cores 0..1 on router 0, cores 2..3 on router 1; one link each way."""
+
+    def __init__(self, net: Network, fwd_port: dict):
+        self.net = net
+        self.fwd_port = fwd_port  # rid -> out_port towards the other router
+
+    def compute(self, router, packet):
+        dst_rid = self.net.core_router[packet.dst_core]
+        if dst_rid == router.rid:
+            return self.net.core_eject_port[packet.dst_core]
+        return self.fwd_port[router.rid]
+
+
+def build_two_router_net() -> Simulator:
+    reset_packet_ids()
+    net = Network("pair", n_cores=4, num_vcs=2, vc_depth=4)
+    r0 = net.add_router(position_mm=(0, 0))
+    r1 = net.add_router(position_mm=(10, 0))
+    net.attach_core(0, r0.rid)
+    net.attach_core(1, r0.rid)
+    net.attach_core(2, r1.rid)
+    net.attach_core(3, r1.rid)
+    p01, _ = net.connect(r0.rid, r1.rid, latency=1)
+    p10, _ = net.connect(r1.rid, r0.rid, latency=1)
+    net.set_routing(TwoRouterRouting(net, {0: p01, 1: p10}))
+    net.finalize()
+    return net
+
+
+def test_single_packet_delivery():
+    net = build_two_router_net()
+    sim = Simulator(net, traffic=ScriptedTraffic([(0, 0, 2, 4)]))
+    sim.run(60)
+    assert sim.stats.packets_ejected == 1
+    assert sim.stats.flits_ejected == 4
+    lat = sim.stats.latencies[0]
+    # inject(1) + router pipeline (3) + link + pipeline at r1 + serialization:
+    assert 5 <= lat <= 25
+
+
+def test_local_delivery_same_router():
+    net = build_two_router_net()
+    sim = Simulator(net, traffic=ScriptedTraffic([(0, 0, 1, 4)]))
+    sim.run(40)
+    assert sim.stats.packets_ejected == 1
+    # One hop (eject only), no inter-router traversal.
+    pkt_hops = sim.stats.hop_sum
+    assert pkt_hops == 1
+
+
+def test_bidirectional_streams_complete():
+    sched = [(t, 0, 2, 4) for t in range(0, 40, 4)] + [(t, 3, 1, 4) for t in range(0, 40, 4)]
+    net = build_two_router_net()
+    sim = Simulator(net, traffic=ScriptedTraffic(sched))
+    sim.run(50)
+    assert sim.drain()
+    assert sim.stats.packets_ejected == 20
+    assert sim.stats.flits_ejected == 80
+
+
+def test_latency_monotone_in_link_latency():
+    lats = []
+    for link_latency in (1, 5, 10):
+        reset_packet_ids()
+        net = Network("pair", n_cores=4, num_vcs=2, vc_depth=4)
+        r0 = net.add_router()
+        r1 = net.add_router()
+        for c, r in ((0, 0), (1, 0), (2, 1), (3, 1)):
+            net.attach_core(c, r)
+        p01, _ = net.connect(0, 1, latency=link_latency)
+        p10, _ = net.connect(1, 0, latency=link_latency)
+        net.set_routing(TwoRouterRouting(net, {0: p01, 1: p10}))
+        net.finalize()
+        sim = Simulator(net, traffic=ScriptedTraffic([(0, 0, 2, 4)]))
+        sim.run(80)
+        assert sim.stats.packets_ejected == 1
+        lats.append(sim.stats.latencies[0])
+    assert lats[0] < lats[1] < lats[2]
+    assert lats[1] - lats[0] == 4  # +4 cycles of link latency
+    assert lats[2] - lats[1] == 5
+
+
+class StarRouting(RoutingFunction):
+    """N leaf routers all writing to a hub over one MWSR bus."""
+
+    def __init__(self, net, bus_ports):
+        self.net = net
+        self.bus_ports = bus_ports  # writer rid -> out_port
+
+    def compute(self, router, packet):
+        dst_rid = self.net.core_router[packet.dst_core]
+        if dst_rid == router.rid:
+            return self.net.core_eject_port[packet.dst_core]
+        return self.bus_ports[router.rid]
+
+
+def build_mwsr_star(n_writers: int = 3, arb_latency: int = 1):
+    reset_packet_ids()
+    n_cores = n_writers + 1
+    net = Network("star", n_cores=n_cores, num_vcs=2, vc_depth=4)
+    hub = net.add_router()
+    writers = [net.add_router() for _ in range(n_writers)]
+    net.attach_core(0, hub.rid)
+    for i, w in enumerate(writers):
+        net.attach_core(i + 1, w.rid)
+    medium = SharedMedium("bus0", kind="photonic", arb_latency=arb_latency)
+    ports = net.connect_bus([w.rid for w in writers], hub.rid, "photonic", medium)
+    net.set_routing(StarRouting(net, ports))
+    net.finalize()
+    return net, medium
+
+
+def test_mwsr_bus_serialises_writers():
+    net, medium = build_mwsr_star(n_writers=3)
+    # All three writers send to core 0 simultaneously.
+    sim = Simulator(net, traffic=ScriptedTraffic([(0, 1, 0, 4), (0, 2, 0, 4), (0, 3, 0, 4)]))
+    sim.run(200)
+    assert sim.stats.packets_ejected == 3
+    assert medium.flits_carried == 12
+    assert medium.grants == 3  # token handed to each writer exactly once
+
+
+def test_mwsr_token_hold_until_tail():
+    """A packet's flits must not interleave with another writer's flits."""
+    net, medium = build_mwsr_star(n_writers=2)
+    sim = Simulator(net, traffic=ScriptedTraffic([(0, 1, 0, 4), (0, 2, 0, 4)]))
+    # Track medium holder changes: grants should be exactly 2 (one per packet).
+    sim.run(200)
+    assert sim.stats.packets_ejected == 2
+    assert medium.grants == 2
+
+
+def test_deadlock_watchdog_fires():
+    """A routing function that forwards forever must trip the watchdog."""
+
+    class BlackHoleRouting(RoutingFunction):
+        def __init__(self, net, ports):
+            self.net = net
+            self.ports = ports
+
+        def compute(self, router, packet):
+            return self.ports[router.rid]  # never ejects
+
+    reset_packet_ids()
+    net = Network("loop", n_cores=2, num_vcs=1, vc_depth=2)
+    r0 = net.add_router()
+    r1 = net.add_router()
+    net.attach_core(0, 0)
+    net.attach_core(1, 1)
+    p01, _ = net.connect(0, 1)
+    p10, _ = net.connect(1, 0)
+    net.set_routing(BlackHoleRouting(net, {0: p01, 1: p10}))
+    net.finalize()
+    # Two opposing packets on a 2-router ring with a single VC: each ends up
+    # holding the VC the other one needs -> classic protocol deadlock the
+    # watchdog must surface. Inject several per side so the ring stays full.
+    sched = [(t, 0, 1, 2) for t in (0, 1, 2)] + [(t, 1, 0, 2) for t in (0, 1, 2)]
+    sim = Simulator(net, traffic=ScriptedTraffic(sched), watchdog=50)
+    from repro.noc import SimulationDeadlock
+
+    with pytest.raises(SimulationDeadlock):
+        sim.run(5000)

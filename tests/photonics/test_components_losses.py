@@ -1,0 +1,135 @@
+"""Photonic component counts (the Sec. I numbers) and loss budgets."""
+
+import pytest
+
+from repro.photonics.components import (
+    mwsr_crossbar,
+    own_cluster_crossbar,
+    own_inventory,
+    pclos_inventory,
+    swmr_crossbar,
+)
+from repro.photonics.losses import (
+    PhotonicLossParams,
+    required_laser_power_mw,
+    splitter_loss_db,
+    waveguide_path_loss_db,
+)
+
+
+class TestPaperNumbers:
+    def test_64x64_swmr_matches_sec1(self):
+        """'a 64x64 crossbar using photonics will require 448 modulators,
+        7 waveguides and 28224 photodetectors using SWMR'."""
+        c = swmr_crossbar(64)
+        assert c.modulators == 448
+        assert c.waveguides == 7
+        assert c.photodetectors == 28224
+
+    def test_1024x1024_swmr_matches_sec1(self):
+        """'approximately 7168 modulators, 112 waveguides, and 7.3 million
+        photodetectors'."""
+        c = swmr_crossbar(1024)
+        assert c.modulators == 7168
+        assert c.waveguides == 112
+        assert 7.2e6 < c.photodetectors < 7.4e6
+
+    def test_corona_million_rings(self):
+        """'more than a million ring resonators' for the 64-router,
+        64-wavelength snake crossbar (Sec. V-B)."""
+        c = mwsr_crossbar(64, wavelengths_per_waveguide=64, rings_per_modulator=4)
+        assert c.rings > 1_000_000
+
+
+class TestInventories:
+    def test_own_cluster(self):
+        c = own_cluster_crossbar(tiles=16, total_wavelengths=64)
+        # 4 wavelengths per home waveguide, 15 writers each.
+        assert c.modulators == 16 * 15 * 4
+        assert c.photodetectors == 16 * 4
+        assert c.waveguides == 16
+
+    def test_own_inventory_scales_with_clusters(self):
+        one = own_cluster_crossbar()
+        four = own_inventory(4)
+        sixteen = own_inventory(16)
+        assert four.rings == 4 * one.rings
+        assert sixteen.rings == 16 * one.rings
+
+    def test_own_orders_of_magnitude_cheaper_than_monolithic(self):
+        """The paper's architectural point: OWN's decomposed crossbars need
+        far fewer photonic components than a flat 64x64 crossbar."""
+        own = own_inventory(4)
+        flat = mwsr_crossbar(64, rings_per_modulator=1)
+        assert own.rings * 20 < flat.rings
+
+    def test_pclos_inventory(self):
+        c = pclos_inventory(64, 16)
+        assert c.waveguides == 80
+        assert c.modulators == 2 * 64 * 16 * 64
+
+    def test_wavelength_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            own_cluster_crossbar(tiles=16, total_wavelengths=60)
+
+    @pytest.mark.parametrize("fn", [swmr_crossbar, mwsr_crossbar])
+    def test_small_counts_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(1)
+
+
+class TestLosses:
+    def test_splitter_log2_stages(self):
+        p = PhotonicLossParams(splitter_excess_db=0.5)
+        assert splitter_loss_db(1, p) == 0.0
+        assert splitter_loss_db(2, p) == pytest.approx(3.5)
+        assert splitter_loss_db(16, p) == pytest.approx(4 * 3.5)
+
+    def test_splitter_validation(self):
+        with pytest.raises(ValueError):
+            splitter_loss_db(0)
+
+    def test_waveguide_loss_composition(self):
+        p = PhotonicLossParams()
+        base = waveguide_path_loss_db(0.0, 0, p)
+        assert base == pytest.approx(
+            p.modulator_insertion_db + p.ring_drop_db + p.photodetector_db
+        )
+        long = waveguide_path_loss_db(100.0, 0, p)
+        assert long - base == pytest.approx(10.0)  # 10 cm at 1 dB/cm
+
+    def test_ring_passby_cost(self):
+        p = PhotonicLossParams(ring_through_db=0.01)
+        a = waveguide_path_loss_db(10.0, 0, p)
+        b = waveguide_path_loss_db(10.0, 1000, p)
+        assert b - a == pytest.approx(10.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            waveguide_path_loss_db(-1.0, 0)
+        with pytest.raises(ValueError):
+            waveguide_path_loss_db(1.0, -1)
+
+    def test_laser_power_scaling(self):
+        base = required_laser_power_mw(10.0, 4)
+        assert required_laser_power_mw(20.0, 4) == pytest.approx(10 * base)
+        assert required_laser_power_mw(10.0, 8) == pytest.approx(2 * base)
+
+    def test_laser_wall_plug_division(self):
+        eff10 = required_laser_power_mw(10.0, 4, wall_plug_efficiency=0.1)
+        eff20 = required_laser_power_mw(10.0, 4, wall_plug_efficiency=0.2)
+        assert eff10 == pytest.approx(2 * eff20)
+
+    def test_laser_validation(self):
+        with pytest.raises(ValueError):
+            required_laser_power_mw(10.0, 0)
+        with pytest.raises(ValueError):
+            required_laser_power_mw(10.0, 4, wall_plug_efficiency=0.0)
+
+    def test_big_crossbar_needs_more_laser_than_own_cluster(self):
+        """Sec. I's insertion-loss argument, quantified."""
+        p = PhotonicLossParams()
+        own = waveguide_path_loss_db(100.0, 15 * 4, p)  # one OWN cluster snake
+        flat = waveguide_path_loss_db(400.0, 63 * 64, p)  # 64-router snake
+        assert flat > own
+        assert required_laser_power_mw(flat, 64) > required_laser_power_mw(own, 4)

@@ -1,0 +1,78 @@
+"""WDM allocation plans and the physical-rate arithmetic."""
+
+import pytest
+
+from repro.photonics.wdm import WdmParams, WdmPlan, optxb_plan, own_cluster_plan
+
+
+class TestWdmParams:
+    def test_fsr_bound(self):
+        p = WdmParams(channel_spacing_ghz=80.0, ring_fsr_ghz=6400.0)
+        assert p.max_wavelengths_per_waveguide == 80
+
+
+class TestWdmPlan:
+    def test_assign_and_bandwidth(self):
+        plan = WdmPlan(WdmParams())
+        plan.assign("wg0", [0, 1, 2, 3])
+        assert plan.bandwidth_gbps("wg0") == 40.0
+
+    def test_duplicate_lambda_rejected(self):
+        plan = WdmPlan(WdmParams())
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.assign("wg0", [0, 0, 1])
+
+    def test_out_of_comb_rejected(self):
+        plan = WdmPlan(WdmParams(laser_wavelengths=8))
+        with pytest.raises(ValueError, match="outside the laser comb"):
+            plan.assign("wg0", [7, 8])
+
+    def test_reassignment_rejected(self):
+        plan = WdmPlan(WdmParams())
+        plan.assign("wg0", [0])
+        with pytest.raises(ValueError, match="already assigned"):
+            plan.assign("wg0", [1])
+
+    def test_fsr_bound_enforced(self):
+        params = WdmParams(laser_wavelengths=128, channel_spacing_ghz=3200.0)
+        plan = WdmPlan(params)
+        with pytest.raises(ValueError, match="FSR"):
+            plan.assign("wg0", range(3))
+
+    def test_cycles_per_flit_arithmetic(self):
+        """128-bit flits at 2.5 GHz demand 320 Gbps; a 4-lambda waveguide
+        moves 40 Gbps -> 8 cycles/flit; a 64-lambda one moves 640 -> 1."""
+        plan = WdmPlan(WdmParams())
+        plan.assign("narrow", range(4))
+        plan.assign("wide", range(64))
+        assert plan.cycles_per_flit("narrow") == 8
+        assert plan.cycles_per_flit("wide") == 1
+
+
+class TestCanonicalPlans:
+    def test_own_cluster_split(self):
+        """64 lambdas over 16 tiles, 4 each, disjoint (Sec. III-A)."""
+        plan = own_cluster_plan()
+        assert len(plan.assignment) == 16
+        all_lams = [w for comb in plan.assignment.values() for w in comb]
+        assert sorted(all_lams) == list(range(64))  # full comb, no overlap
+        assert all(len(c) == 4 for c in plan.assignment.values())
+
+    def test_own_split_divisibility(self):
+        with pytest.raises(ValueError):
+            own_cluster_plan(tiles=10)
+
+    def test_optxb_full_comb_everywhere(self):
+        plan = optxb_plan(n_routers=64)
+        assert len(plan.assignment) == 64
+        assert all(len(c) == 64 for c in plan.assignment.values())
+
+    def test_physical_rates_explain_equalisation(self):
+        """The bisection delays used by the builders follow from physics:
+        OWN's 4-lambda home waveguides are ~8x slower than a full-comb
+        OptXB waveguide -- which is why the equalised comparison slows the
+        fat links rather than speeding the thin ones."""
+        own = own_cluster_plan()
+        flat = optxb_plan()
+        assert own.bandwidth_gbps("wg0") * 16 == flat.bandwidth_gbps("wg0")
+        assert own.cycles_per_flit("wg0") == 8 * flat.cycles_per_flit("wg0")

@@ -1,0 +1,82 @@
+"""Silicon area model: scaling laws and the architecture comparison."""
+
+import pytest
+
+from repro.core import build_own256, build_own1024
+from repro.power.area import AreaModel, AreaParams, area_comparison
+from repro.topologies import build_cmesh, build_optxb, build_wcmesh
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestRouterArea:
+    def test_scales_with_radix(self, model):
+        small = model.router_area_um2(8, 4, 8)
+        big = model.router_area_um2(67, 4, 8)
+        assert big > 8 * small / 2  # super-linear (xbar is quadratic)
+
+    def test_scales_with_buffering(self, model):
+        shallow = model.router_area_um2(8, 4, 4)
+        deep = model.router_area_um2(8, 4, 8)
+        assert deep > shallow
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.router_area_um2(0, 4, 8)
+
+
+class TestArchitectureComparison:
+    def test_cmesh_smallest(self, model):
+        areas = area_comparison(
+            [build_cmesh(256), build_own256(), build_optxb(256)]
+        )
+        assert areas["cmesh256"].total_mm2 < areas["own256"].total_mm2
+        assert areas["own256"].total_mm2 < areas["optxb256"].total_mm2
+
+    def test_optxb_photonic_area_explodes_at_1024(self, model):
+        """The Sec. I scalability argument in mm^2."""
+        a256 = model.measure(build_optxb(256)).photonic_mm2
+        a1024 = model.measure(build_optxb(1024)).photonic_mm2
+        assert a1024 > 10 * a256
+        # A 1024-core OptXB's photonics alone exceed the whole 100x100 mm
+        # four-chip assembly's area budget for interconnect.
+        assert a1024 > 1000.0
+
+    def test_own_scales_gently(self, model):
+        a256 = model.measure(build_own256()).total_mm2
+        a1024 = model.measure(build_own1024()).total_mm2
+        # 4x the cores costs ~4x the interconnect area, not 16x.
+        assert a1024 / a256 < 6.0
+
+    def test_wcmesh_antenna_heavy(self, model):
+        """wCMESH needs 96 transceiver ends vs OWN's 24."""
+        wc = model.measure(build_wcmesh(256))
+        own = model.measure(build_own256())
+        assert wc.wireless_mm2 > 3 * own.wireless_mm2
+
+    def test_breakdown_sums(self, model):
+        a = model.measure(build_own256())
+        assert a.total_mm2 == pytest.approx(
+            a.router_mm2 + a.wire_mm2 + a.photonic_mm2 + a.wireless_mm2
+        )
+        d = a.as_dict()
+        assert set(d) == {
+            "router_mm2", "wire_mm2", "photonic_mm2", "wireless_mm2", "total_mm2"
+        }
+
+    def test_pure_electrical_has_no_exotic_area(self, model):
+        a = model.measure(build_cmesh(256))
+        assert a.photonic_mm2 == 0.0
+        assert a.wireless_mm2 == 0.0
+        assert a.wire_mm2 > 0
+
+    def test_own256_wireless_area(self, model):
+        """12 channels x 2 ends x (transceiver + antenna)."""
+        a = model.measure(build_own256())
+        p = AreaParams()
+        assert a.wireless_mm2 == pytest.approx(
+            24 * (p.transceiver_mm2 + p.antenna_mm2)
+        )

@@ -1,0 +1,88 @@
+"""Link budget (Fig. 3) anchors and physics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rf.budget import LinkBudget, free_space_path_loss_db
+
+
+class TestFSPL:
+    def test_anchor_90ghz_50mm(self):
+        # lambda = 3.33 mm; 4*pi*d/lambda = 188.5 -> 45.5 dB.
+        assert free_space_path_loss_db(50.0, 90.0) == pytest.approx(45.5, abs=0.2)
+
+    def test_20db_per_decade(self):
+        a = free_space_path_loss_db(5.0, 90.0)
+        b = free_space_path_loss_db(50.0, 90.0)
+        assert b - a == pytest.approx(20.0)
+
+    def test_frequency_scaling(self):
+        a = free_space_path_loss_db(50.0, 90.0)
+        b = free_space_path_loss_db(50.0, 180.0)
+        assert b - a == pytest.approx(6.02, abs=0.05)
+
+    @pytest.mark.parametrize("d,f", [(0, 90), (-1, 90), (50, 0), (50, -5)])
+    def test_validation(self, d, f):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(d, f)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    def test_monotone_in_distance_and_frequency(self, d, f):
+        assert free_space_path_loss_db(d * 2, f) > free_space_path_loss_db(d, f)
+        assert free_space_path_loss_db(d, f * 2) > free_space_path_loss_db(d, f)
+
+
+class TestLinkBudget:
+    def test_paper_anchor(self):
+        """'>= 4 dBm for a maximum distance of 50 mm' (Sec. IV-A)."""
+        b = LinkBudget()
+        p = b.required_tx_power_dbm(50.0)
+        assert 4.0 <= p <= 5.0
+
+    def test_sensitivity_composition(self):
+        b = LinkBudget()
+        # kTB(32 GHz) ~ -69 dBm + NF 8 + SNR 14 + margin 5.5 ~ -41.5 dBm.
+        assert b.receiver_sensitivity_dbm == pytest.approx(-41.5, abs=0.3)
+
+    def test_antenna_gain_reduces_power(self):
+        b = LinkBudget()
+        iso = b.required_tx_power_dbm(50.0)
+        directive = b.required_tx_power_dbm(50.0, tx_gain_dbi=5.0, rx_gain_dbi=5.0)
+        assert iso - directive == pytest.approx(10.0)
+
+    def test_watts_variant(self):
+        b = LinkBudget()
+        dbm = b.required_tx_power_dbm(30.0)
+        w = b.required_tx_power_w(30.0)
+        assert w == pytest.approx(1e-3 * 10 ** (dbm / 10.0))
+
+    def test_link_distance_factor_d_squared(self):
+        b = LinkBudget()
+        assert b.link_distance_factor(60.0) == pytest.approx(1.0)
+        assert b.link_distance_factor(30.0) == pytest.approx(0.25)
+        # The d^2 law brackets Table III's LD factors once transceiver
+        # overheads are folded in (0.15 for SR at 10 mm).
+        assert b.link_distance_factor(10.0) == pytest.approx(0.0278, abs=1e-3)
+
+    def test_link_distance_factor_validation(self):
+        with pytest.raises(ValueError):
+            LinkBudget().link_distance_factor(30.0, reference_mm=0.0)
+
+    def test_sweep_shape(self):
+        b = LinkBudget()
+        grid = b.sweep([10.0, 20.0, 30.0], gains_dbi=[0.0, 10.0])
+        assert grid.shape == (2, 3)
+        assert np.all(np.diff(grid, axis=1) > 0)  # distance monotone
+        assert np.all(grid[0] > grid[1])  # gain helps
+
+    def test_narrower_bandwidth_needs_less_power(self):
+        wide = LinkBudget(data_rate_gbps=32.0)
+        narrow = LinkBudget(data_rate_gbps=16.0)
+        assert narrow.required_tx_power_dbm(50.0) < wide.required_tx_power_dbm(50.0)
+        # Halving the bandwidth buys exactly 3 dB of noise floor.
+        delta = wide.required_tx_power_dbm(50.0) - narrow.required_tx_power_dbm(50.0)
+        assert delta == pytest.approx(3.01, abs=0.02)

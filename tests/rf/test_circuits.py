@@ -1,0 +1,147 @@
+"""Oscillator / PA / LNA behavioural models against the Fig. 4 anchors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rf.lna import CascodeLNA
+from repro.rf.oscillator import ColpittsOscillator, design_for_frequency
+from repro.rf.pa import ClassABPA
+
+
+class TestOscillator:
+    def test_oscillates_at_90ghz(self):
+        osc = ColpittsOscillator()
+        assert osc.frequency_ghz == pytest.approx(90.0, abs=0.5)
+
+    def test_phase_noise_anchor(self):
+        """Fig. 4a: ~-86 dBc/Hz at 1 MHz offset."""
+        osc = ColpittsOscillator()
+        assert osc.phase_noise_dbc_hz(1e6) == pytest.approx(-86.0, abs=1.0)
+
+    def test_phase_noise_falls_with_offset(self):
+        osc = ColpittsOscillator()
+        pn = [osc.phase_noise_dbc_hz(f) for f in (1e5, 1e6, 1e7)]
+        assert pn[0] > pn[1] > pn[2]
+
+    def test_leeson_slope_20db_per_decade(self):
+        """In the 1/f^2 region the slope is -20 dB/decade."""
+        osc = ColpittsOscillator(flicker_corner_mhz=0.0001)
+        delta = osc.phase_noise_dbc_hz(1e6) - osc.phase_noise_dbc_hz(1e7)
+        assert delta == pytest.approx(20.0, abs=0.5)
+
+    def test_effective_capacitance_series(self):
+        osc = ColpittsOscillator(cgs_ff=70.0, cgd_ff=35.0)
+        assert osc.effective_capacitance_f == pytest.approx(23.33e-15, rel=1e-3)
+
+    def test_dc_power(self):
+        osc = ColpittsOscillator(supply_v=1.0, bias_current_ma=6.0)
+        assert osc.dc_power_mw == 6.0
+
+    def test_design_for_frequency(self):
+        for target in (60.0, 90.0, 300.0, 500.0):
+            osc = design_for_frequency(target)
+            assert osc.frequency_ghz == pytest.approx(target, rel=1e-6)
+
+    def test_design_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            design_for_frequency(0.0)
+
+    def test_offset_validation(self):
+        with pytest.raises(ValueError):
+            ColpittsOscillator().phase_noise_dbc_hz(0.0)
+
+    def test_waveform_amplitude_and_period(self):
+        osc = ColpittsOscillator()
+        t = np.linspace(0, 1 / osc.frequency_hz, 256, endpoint=False)
+        wave = osc.waveform(t, amplitude_v=0.4)
+        assert np.max(wave) == pytest.approx(0.4, rel=1e-2)
+        # One full period: mean ~ 0.
+        assert abs(np.mean(wave)) < 1e-3
+
+    def test_psd_symmetric_in_offset_magnitude(self):
+        osc = ColpittsOscillator()
+        psd = osc.psd_dbc_hz([-1e6, 1e6])
+        assert psd[0] == pytest.approx(psd[1])
+
+
+class TestPA:
+    def test_peak_gain_anchor(self):
+        assert ClassABPA().gain_db(90.0) == pytest.approx(3.5)
+
+    def test_2db_bandwidth_20ghz(self):
+        pa = ClassABPA()
+        assert pa.gain_db(80.0) == pytest.approx(1.5, abs=0.01)
+        assert pa.gain_db(100.0) == pytest.approx(1.5, abs=0.01)
+
+    def test_compression_point_anchor(self):
+        """Fig. 4b: output P1dB ~ 5 dBm."""
+        assert ClassABPA().compression_point_dbm() == pytest.approx(5.0, abs=0.7)
+
+    def test_small_signal_linear(self):
+        pa = ClassABPA()
+        out = pa.output_power_dbm(-30.0)
+        assert out == pytest.approx(-30.0 + 3.5, abs=0.05)
+
+    def test_saturation(self):
+        pa = ClassABPA()
+        assert pa.output_power_dbm(30.0) <= pa.psat_dbm + 0.1
+
+    def test_can_deliver_required_power(self):
+        """'sufficient RF power (PRF) of 7 dBm (>=4 mW required)'."""
+        pa = ClassABPA()
+        # >= 4 mW (6 dBm) at moderate drive; ~7 dBm when driven hard.
+        assert pa.output_power_dbm(5.0) >= 6.0
+        assert pa.output_power_dbm(8.0) >= 6.9
+
+    def test_efficiency_below_unity(self):
+        pa = ClassABPA()
+        eff = pa.drain_efficiency(7.0)
+        assert 0.0 < eff < 1.0
+        # 5 mW out of 14 mW DC ~ 36 %.
+        assert eff == pytest.approx(0.36, abs=0.05)
+
+    def test_gain_sweep_matches_scalar(self):
+        pa = ClassABPA()
+        freqs = np.array([85.0, 90.0, 95.0])
+        sweep = pa.gain_sweep(freqs)
+        assert sweep[1] == pytest.approx(pa.gain_db(90.0))
+
+    def test_reflection_loss_in_band(self):
+        pa = ClassABPA()
+        assert pa.reflection_loss_fraction(90.0) <= 0.10
+        assert pa.reflection_loss_fraction(130.0) > 0.10
+
+    def test_frequency_validation(self):
+        with pytest.raises(ValueError):
+            ClassABPA().gain_db(0.0)
+
+
+class TestLNA:
+    def test_peak_gain_anchor(self):
+        assert CascodeLNA().gain_db(90.0) == pytest.approx(10.0)
+
+    def test_3db_bandwidth(self):
+        lna = CascodeLNA(bandwidth_3db_ghz=30.0)
+        assert lna.gain_db(90.0 - 15.0) == pytest.approx(7.0, abs=0.05)
+        assert lna.gain_db(90.0 + 15.0) == pytest.approx(7.0, abs=0.05)
+
+    def test_cascade_rolls_off_faster_than_single(self):
+        two = CascodeLNA(stages=2)
+        one = CascodeLNA(stages=1)
+        # Same overall 3-dB BW, but the cascade falls faster beyond it.
+        assert two.gain_db(130.0) < one.gain_db(130.0)
+
+    def test_output_snr(self):
+        lna = CascodeLNA(noise_figure_db=6.5)
+        assert lna.output_snr_db(20.0) == pytest.approx(13.5)
+
+    def test_sufficient_for(self):
+        lna = CascodeLNA()
+        assert lna.sufficient_for(10.0)
+        assert not lna.sufficient_for(12.0)
+
+    def test_frequency_validation(self):
+        with pytest.raises(ValueError):
+            CascodeLNA().gain_db(-1.0)

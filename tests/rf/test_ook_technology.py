@@ -1,0 +1,117 @@
+"""OOK transceiver composition and technology parameter sets."""
+
+import pytest
+
+from repro.rf.ook import OOKTransceiver, ook_ber, required_snr_db
+from repro.rf.technology import (
+    DEVICES,
+    EFFICIENCY_RAMP_PJ,
+    TECH_BICMOS,
+    TECH_CMOS,
+    TECH_HBT,
+    technology_for_frequency,
+    validate_technology,
+)
+
+
+class TestBER:
+    def test_ber_falls_with_snr(self):
+        assert ook_ber(10.0) > ook_ber(15.0) > ook_ber(20.0)
+
+    def test_required_snr_inverse(self):
+        for target in (1e-6, 1e-9, 1e-12):
+            snr = required_snr_db(target)
+            assert ook_ber(snr) == pytest.approx(target, rel=1e-6)
+
+    def test_required_snr_anchor(self):
+        # 1e-9 BER with non-coherent OOK needs ~19 dB.
+        assert required_snr_db(1e-9) == pytest.approx(19.0, abs=0.3)
+
+    @pytest.mark.parametrize("bad", [0.0, 0.5, 0.9, -1e-3])
+    def test_required_snr_validation(self, bad):
+        with pytest.raises(ValueError):
+            required_snr_db(bad)
+
+
+class TestTransceiver:
+    def test_defaults_compose(self):
+        t = OOKTransceiver()
+        assert t.oscillator.frequency_ghz == pytest.approx(90.0, rel=1e-3)
+        assert t.pa.center_ghz == 90.0
+        assert t.lna.center_ghz == 90.0
+
+    def test_retunes_to_channel(self):
+        t = OOKTransceiver(freq_ghz=140.0)
+        assert t.oscillator.frequency_ghz == pytest.approx(140.0, rel=1e-3)
+
+    def test_link_closes_at_budget_power(self):
+        t = OOKTransceiver()
+        p = t.tx_power_dbm_for(50.0)
+        assert t.closes(50.0, p + 0.1)
+        assert not t.closes(50.0, p - 8.0)
+
+    def test_ber_improves_with_power(self):
+        t = OOKTransceiver()
+        assert t.ber(50.0, 0.0) > t.ber(50.0, 6.0)
+
+    def test_energy_per_bit_scales_with_distance(self):
+        t = OOKTransceiver()
+        assert t.energy_per_bit_pj(60.0) > t.energy_per_bit_pj(30.0) > t.energy_per_bit_pj(10.0)
+
+    def test_energy_per_bit_magnitude(self):
+        """Sub-pJ/bit at 32 Gbps for the Fig. 4-class 65 nm blocks."""
+        t = OOKTransceiver()
+        e = t.energy_per_bit_pj(60.0)
+        assert 0.3 <= e <= 2.0
+
+    def test_rx_power_constant(self):
+        t = OOKTransceiver()
+        assert t.rx_dc_power_mw() == t.lna.dc_power_mw + t.detector_power_mw
+
+    def test_tx_power_scales_down_for_short_links(self):
+        t = OOKTransceiver()
+        assert t.tx_dc_power_mw(10.0) < t.tx_dc_power_mw(60.0)
+
+
+class TestTechnology:
+    def test_three_tracks(self):
+        assert set(DEVICES) == {TECH_CMOS, TECH_BICMOS, TECH_HBT}
+
+    def test_paper_base_efficiencies(self):
+        """Sec. IV: 0.1 pJ/bit CMOS base, 0.5 pJ/bit HBT base."""
+        assert DEVICES[TECH_CMOS].base_energy_pj_per_bit == 0.1
+        assert DEVICES[TECH_HBT].base_energy_pj_per_bit == 0.5
+
+    def test_paper_ramps(self):
+        assert EFFICIENCY_RAMP_PJ["ideal"] == {
+            TECH_CMOS: 0.05, TECH_BICMOS: 0.07, TECH_HBT: 0.10,
+        }
+        assert EFFICIENCY_RAMP_PJ["conservative"] == {
+            TECH_CMOS: 0.05, TECH_BICMOS: 0.06, TECH_HBT: 0.07,
+        }
+
+    def test_frequency_pairing(self):
+        assert technology_for_frequency(100.0) == TECH_CMOS
+        assert technology_for_frequency(220.0) == TECH_CMOS
+        assert technology_for_frequency(260.0) == TECH_BICMOS
+        assert technology_for_frequency(320.0) == TECH_BICMOS
+        # "~300 GHz as a limit beyond which to use SiGe HBT-only circuitry"
+        assert technology_for_frequency(340.0) == TECH_HBT
+        assert technology_for_frequency(700.0) == TECH_HBT
+
+    def test_supports(self):
+        assert DEVICES[TECH_CMOS].supports(200.0)
+        assert not DEVICES[TECH_CMOS].supports(300.0)
+        assert DEVICES[TECH_HBT].supports(700.0)
+
+    def test_speed_ordering(self):
+        assert (
+            DEVICES[TECH_CMOS].ft_ghz
+            < DEVICES[TECH_BICMOS].ft_ghz
+            < DEVICES[TECH_HBT].ft_ghz
+        )
+
+    def test_validate(self):
+        assert validate_technology("CMOS") == "CMOS"
+        with pytest.raises(ValueError):
+            validate_technology("GaAs")

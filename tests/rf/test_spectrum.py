@@ -1,0 +1,83 @@
+"""Spectral isolation of the channel plan (the Sec. IV guard-band claim)."""
+
+import pytest
+
+from repro.power import SCENARIOS
+from repro.rf.spectrum import (
+    EmissionMask,
+    adjacent_channel_isolation_db,
+    channel_plan_isolation,
+    intermodulation_products,
+)
+
+
+class TestEmissionMask:
+    def test_in_band_flat(self):
+        mask = EmissionMask()
+        assert mask.psd_dbc(0.0, 16.0) == 0.0
+        assert mask.psd_dbc(15.9, 16.0) == 0.0
+
+    def test_rolloff(self):
+        mask = EmissionMask(rolloff_db_per_ghz=3.0)
+        assert mask.psd_dbc(18.0, 16.0) == pytest.approx(-6.0)
+
+    def test_floor(self):
+        mask = EmissionMask(floor_dbc=-50.0)
+        assert mask.psd_dbc(200.0, 16.0) == -50.0
+
+    def test_symmetric(self):
+        mask = EmissionMask()
+        assert mask.psd_dbc(-20.0, 16.0) == mask.psd_dbc(20.0, 16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmissionMask().psd_dbc(1.0, 0.0)
+
+
+class TestIsolation:
+    def test_overlapping_channels_zero_isolation(self):
+        assert adjacent_channel_isolation_db(100.0, 32.0, 110.0, 32.0) == 0.0
+
+    def test_isolation_grows_with_guard(self):
+        tight = adjacent_channel_isolation_db(100.0, 16.0, 120.0, 16.0)  # 4 GHz
+        wide = adjacent_channel_isolation_db(100.0, 16.0, 130.0, 16.0)  # 14 GHz
+        assert wide > tight
+
+    def test_paper_guard_bands_sufficient(self):
+        """Both Table III plans achieve >= 20 dB adjacent-channel isolation
+        without dedicated filters -- the Sec. IV design intent."""
+        for scenario in SCENARIOS.values():
+            rep = channel_plan_isolation(scenario)
+            assert rep.meets(20.0), (scenario.key, rep.worst_db)
+
+    def test_ideal_guards_beat_conservative(self):
+        ideal = channel_plan_isolation(SCENARIOS[1]).worst_db
+        cons = channel_plan_isolation(SCENARIOS[2]).worst_db
+        assert ideal > cons
+
+    def test_worst_pair_is_adjacent(self):
+        rep = channel_plan_isolation(SCENARIOS[1])
+        a, b = rep.worst_pair
+        assert abs(a - b) == 1
+
+    def test_fifteen_adjacent_pairs(self):
+        rep = channel_plan_isolation(SCENARIOS[2])
+        assert len(rep.per_adjacent_db) == 15
+
+
+class TestIM3:
+    def test_products(self):
+        prods = intermodulation_products(100.0, 140.0)
+        assert prods["2f1-f2"] == 60.0
+        assert prods["2f2-f1"] == 180.0
+        assert prods["f1+f2"] == 240.0
+
+    def test_evenly_spaced_grid_property(self):
+        """On the Table III grid, IM3 of neighbours lands on grid slots --
+        harmless for single-carrier OOK PAs but the reason multi-carrier
+        sharing of one PA is off the table."""
+        s = SCENARIOS[1]
+        f1, f2 = s.frequency(3), s.frequency(4)
+        prods = intermodulation_products(f1, f2)
+        assert prods["2f1-f2"] == s.frequency(2)
+        assert prods["2f2-f1"] == s.frequency(5)

@@ -1,0 +1,73 @@
+"""CLI (`python -m repro`) behaviour via the in-process entry point."""
+
+import pytest
+
+from repro.__main__ import TOPOLOGIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topology_choices(self):
+        assert "own256" in TOPOLOGIES and "own1024" in TOPOLOGIES
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "nonsense"])
+
+
+class TestInfo:
+    @pytest.mark.parametrize("topo", ["own256", "cmesh256", "optxb256"])
+    def test_info_runs(self, capsys, topo):
+        assert main(["info", topo]) == 0
+        out = capsys.readouterr().out
+        assert "routers" in out
+        assert "bisection" in out
+
+    def test_own256_structure_in_output(self, capsys):
+        main(["info", "own256"])
+        out = capsys.readouterr().out
+        assert "wireless 12" in out
+        assert "photonic rings" in out
+
+
+class TestChannels:
+    def test_prints_all_four_tables(self, capsys):
+        assert main(["channels"]) == 0
+        out = capsys.readouterr().out
+        for title in ("Table I", "Table II", "Table III", "Table IV"):
+            assert title in out
+
+
+class TestExperiments:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiments", "--only", "bogus"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_static_experiment_runs(self, capsys):
+        assert main(["experiments", "--only", "table1"]) == 0
+        assert "OWN-256 wireless connections" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_writes_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "r.md"
+        rc = main(["report", "-o", str(out_file), "--only", "table1,table4"])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "Table I" in text and "Table IV" in text
+
+    def test_unknown_id(self, tmp_path, capsys):
+        rc = main(["report", "-o", str(tmp_path / "r.md"), "--only", "nope"])
+        assert rc == 2
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        rc = main([
+            "sweep", "cmesh256", "--rates", "0.01", "--cycles", "200",
+            "--warmup", "50",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation offered load" in out

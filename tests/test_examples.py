@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail CI, not a reader. reproduce_paper is exercised through its
+``--only`` fast path (the full run is the benchmark suite's job).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "power breakdown" in out
+        assert "mean latency" in out
+
+    def test_custom_topology(self):
+        out = run_example("custom_topology.py")
+        assert "hybrid-ring" in out
+
+    def test_wireless_design_space(self):
+        out = run_example("wireless_design_space.py")
+        assert "Table III" in out
+        assert "reductions vs configuration 1" in out
+
+    def test_reproduce_paper_subset(self):
+        out = run_example("reproduce_paper.py", "--quick", "--only", "table1,fig4")
+        assert "[table1]" in out and "[fig4]" in out
+
+    def test_reproduce_paper_rejects_unknown(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "reproduce_paper.py"), "--only", "zzz"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode != 0
+
+    @pytest.mark.slow
+    def test_kilo_core_scaling(self):
+        out = run_example("kilo_core_scaling.py")
+        assert "photonic component inventories" in out
+        assert "OWN-1024" in out
+
+    @pytest.mark.slow
+    def test_thermal_and_area(self):
+        out = run_example("thermal_and_area.py")
+        assert "thermal map" in out
+
+    @pytest.mark.slow
+    def test_design_space_pareto(self):
+        out = run_example("design_space_pareto.py")
+        assert "Pareto frontier" in out
+        assert "cfg4" in out

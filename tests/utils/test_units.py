@@ -1,0 +1,96 @@
+"""Unit conversions: exact anchors, inverses, error paths."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    BOLTZMANN_J_K,
+    SPEED_OF_LIGHT_M_S,
+    db_to_linear,
+    dbm_to_watts,
+    ghz,
+    linear_to_db,
+    mhz,
+    mm,
+    thermal_noise_dbm,
+    watts_to_dbm,
+    wavelength_m,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_two(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_anchor(self):
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_roundtrip(self, x):
+        assert linear_to_db(db_to_linear(x)) == pytest.approx(x, abs=1e-9)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -1e-12])
+    def test_linear_to_db_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            linear_to_db(bad)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-120.0, max_value=60.0))
+    def test_roundtrip(self, x):
+        assert watts_to_dbm(dbm_to_watts(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+
+class TestScales:
+    def test_ghz(self):
+        assert ghz(90.0) == 90e9
+
+    def test_mhz(self):
+        assert mhz(1.0) == 1e6
+
+    def test_mm(self):
+        assert mm(25.0) == 0.025
+
+
+class TestPhysics:
+    def test_wavelength_90ghz(self):
+        # 90 GHz -> ~3.33 mm.
+        assert wavelength_m(90e9) == pytest.approx(3.33e-3, rel=1e-2)
+
+    def test_wavelength_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)
+
+    def test_thermal_noise_1hz(self):
+        # kT at 290 K in dBm/Hz is the canonical -174.
+        assert thermal_noise_dbm(1.0) == pytest.approx(-174.0, abs=0.1)
+
+    def test_thermal_noise_scales_10db_per_decade(self):
+        assert thermal_noise_dbm(1e9) - thermal_noise_dbm(1e8) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("bw,temp", [(0.0, 290.0), (1e9, 0.0), (-1.0, 290.0)])
+    def test_thermal_noise_validation(self, bw, temp):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(bw, temp)
+
+    def test_constants_sane(self):
+        assert SPEED_OF_LIGHT_M_S == pytest.approx(2.998e8, rel=1e-3)
+        assert BOLTZMANN_J_K == pytest.approx(1.38e-23, rel=1e-2)

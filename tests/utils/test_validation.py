@@ -1,0 +1,63 @@
+"""Argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("y", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="y"):
+            check_non_negative("y", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("z", 0, 0, 10) == 0
+        assert check_in_range("z", 10, 0, 10) == 10
+
+    @pytest.mark.parametrize("bad", [-0.001, 10.001])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="z"):
+            check_in_range("z", bad, 0, 10)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 256, 1024, 2**20])
+    def test_accepts(self, good):
+        assert check_power_of_two("n", good) == good
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 255, 1000])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="n"):
+            check_power_of_two("n", bad)
