@@ -1,0 +1,34 @@
+"""Bench for the runtime-fault degradation study (:mod:`repro.faults`).
+
+Quantifies the graceful-degradation claim the fault-tolerance machinery
+exists to support: transient interference costs latency and retransmission
+energy but no throughput, and a permanent transceiver death is absorbed by
+the health monitor's failover instead of deadlocking the run.
+"""
+
+from repro.analysis import study_degradation
+
+
+def test_degradation(run_experiment):
+    result = run_experiment(study_degradation, quick=True)
+    rows = {row[0]: row for row in result.rows}
+
+    # Zero-fault row: the protocol never fires (transparency guarantee).
+    clean = rows["bursts@0.0"]
+    assert clean[4] == 0 and clean[5] == 0 and clean[6] == 0 and clean[7] == 0
+
+    # Fault intensity buys latency and retransmission energy, not loss:
+    # accepted throughput stays at the offered load on every burst row.
+    burst_rows = [rows[k] for k in rows if k.startswith("bursts@")]
+    assert all(row[3] >= 0.019 for row in burst_rows)
+    worst = rows["bursts@0.005"]
+    assert worst[4] > clean[4]  # retransmissions happened
+    assert worst[2] > clean[2]  # p99 latency degraded
+    assert worst[8] > clean[8]  # ...and was paid for in retx energy
+
+    # Permanent death: exactly one failover, recovered packets, no loss.
+    death = rows["death+failover"]
+    assert death[7] == 1
+    assert death[6] > 0
+    assert death[3] >= 0.019
+    assert result.notes["failovers"], "health monitor never fired"

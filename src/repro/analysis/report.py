@@ -39,6 +39,7 @@ ARTIFACT_CONTEXT: Dict[str, str] = {
     "study_reconfig": "Study — reconfiguration channels (Sec. IV)",
     "study_faults": "Study — wireless channel failures",
     "study_bursty": "Study — bursty traffic",
+    "study_degradation": "Study — runtime faults, retransmission, failover",
 }
 
 

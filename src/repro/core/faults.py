@@ -35,7 +35,14 @@ class UnroutableError(RuntimeError):
 
 
 class FaultTolerantOwn256Routing(Own256Routing):
-    """OWN-256 routing that relays around failed wireless channels."""
+    """OWN-256 routing that relays around failed wireless channels.
+
+    When a reconfiguration controller is attached (``with_reconfiguration``
+    builds + :meth:`attach_reconfiguration`), a failed pair whose spare
+    D->D channel has been pinned (:meth:`ReconfigurationController.pin`)
+    routes *directly* over the spare -- a single wireless hop, same VC
+    discipline as an un-relayed path -- instead of the two-hop relay.
+    """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -43,6 +50,14 @@ class FaultTolerantOwn256Routing(Own256Routing):
         self.relayed_packets = 0
 
     # ---------------- fault management ---------------- #
+
+    def _spare_active(self, cs: int, cd: int) -> bool:
+        """Is a spare D->D channel currently assigned to (cs, cd)?"""
+        return (
+            self.reconfig is not None
+            and (cs, cd) in self.spare_out_port
+            and self.reconfig.boosted(cs, cd) is not None
+        )
 
     def fail_channel(self, src_cluster: int, dst_cluster: int) -> None:
         """Mark the (src, dst) channel dead; traffic relays around it.
@@ -78,7 +93,7 @@ class FaultTolerantOwn256Routing(Own256Routing):
 
     def _next_cluster(self, cs: int, cd: int) -> int:
         """The next cluster a packet at ``cs`` heading to ``cd`` crosses to."""
-        if self.alive(cs, cd):
+        if self.alive(cs, cd) or self._spare_active(cs, cd):
             return cd
         return self._relay_for(cs, cd)
 
@@ -86,7 +101,9 @@ class FaultTolerantOwn256Routing(Own256Routing):
         """How many wireless hops remain from cluster ``c_cur``."""
         if c_cur == c_dst:
             return 0
-        return 1 if self.alive(c_cur, c_dst) else 2
+        if self.alive(c_cur, c_dst) or self._spare_active(c_cur, c_dst):
+            return 1
+        return 2
 
     # ---------------- routing ---------------- #
 
@@ -99,6 +116,18 @@ class FaultTolerantOwn256Routing(Own256Routing):
         _, c_dst, _ = self._gct(dst_rid)
         if c_cur == c_dst:
             return self.photonic_port[(rid, dst_rid)]
+        use_spare = (
+            # Dead pair with a pinned spare: all its traffic takes the D
+            # path. Alive pair: inherit the parity-interleaved boost.
+            self._spare_active(c_cur, c_dst)
+            if not self.alive(c_cur, c_dst)
+            else self._use_spare(packet, c_cur, c_dst)
+        )
+        if use_spare:
+            d_gateway = self.spare_gateway_rid[c_cur]
+            if rid == d_gateway:
+                return self.spare_out_port[(c_cur, c_dst)]
+            return self.photonic_port[(rid, d_gateway)]
         c_next = self._next_cluster(c_cur, c_dst)
         if c_next != c_dst and rid == self.gateway_rid[
             self.channel_map[(c_cur, c_next)].channel_index

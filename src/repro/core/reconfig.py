@@ -71,6 +71,9 @@ class ReconfigurationController:
         self.primary_links = primary_links
         self.epoch_cycles = epoch_cycles
         self.assignments: Dict[Tuple[int, int], SpareAssignment] = {}
+        #: Pairs permanently holding a spare (failover; see :meth:`pin`).
+        #: Assigned before utilisation-ranked candidates on every epoch.
+        self.pinned: List[Tuple[int, int]] = []
         self._last_counts: Dict[Tuple[int, int], int] = {
             pair: 0 for pair in primary_links
         }
@@ -95,15 +98,45 @@ class ReconfigurationController:
                 return False
         return True
 
+    def pin(self, pair: Tuple[int, int]) -> None:
+        """Permanently dedicate a spare channel to ``pair`` (failover).
+
+        Pinned pairs take precedence over utilisation-ranked candidates on
+        every reassignment, and the spare is installed immediately rather
+        than waiting for the next epoch boundary -- the health monitor
+        calls this when a primary channel dies mid-run.
+
+        Raises
+        ------
+        ValueError
+            If ``pair`` has no spare link or the D-antenna constraint
+            (one outgoing + one incoming spare per cluster) cannot be met
+            against already pinned pairs.
+        """
+        if pair in self.pinned:
+            return
+        if pair not in self.spare_links:
+            raise ValueError(f"no spare D->D link for cluster pair {pair}")
+        if not self._feasible(self.pinned, pair):
+            raise ValueError(
+                f"pinning {pair} violates the D-antenna constraint against "
+                f"pinned pairs {self.pinned}"
+            )
+        self.pinned.append(pair)
+        self.reassign()
+
     def reassign(self) -> None:
-        """Give the spares to the hottest cluster pairs (greedy, feasible)."""
+        """Give the spares to the hottest cluster pairs (greedy, feasible).
+
+        Pinned (failover) pairs are assigned first, unconditionally.
+        """
         usage = self.utilisation_last_epoch()
         ranked = sorted(usage.items(), key=lambda kv: kv[1], reverse=True)
-        chosen: List[Tuple[int, int]] = []
+        chosen: List[Tuple[int, int]] = list(self.pinned)
         for pair, flits in ranked:
             if flits == 0 or len(chosen) >= N_SPARE_CHANNELS:
                 break
-            if self._feasible(chosen, pair):
+            if pair not in chosen and self._feasible(chosen, pair):
                 chosen.append(pair)
         new_assignments: Dict[Tuple[int, int], SpareAssignment] = {}
         for i, pair in enumerate(chosen):
@@ -134,6 +167,7 @@ class ReconfigurationController:
             "epochs": self.epochs,
             "reassignments": self.reassignments,
             "active_pairs": sorted(self.assignments.keys()),
+            "pinned_pairs": list(self.pinned),
             "spare_flits": sum(
                 a.link.flits_carried for a in self.assignments.values()
             ),

@@ -1,0 +1,118 @@
+"""Fault-injection scheduling: deterministic campaigns of fault events.
+
+A :class:`FaultCampaign` is an ordered collection of fault events
+(:mod:`repro.faults.models`) applied to the network at fixed cycles. The
+campaign is fully determined at construction -- either explicitly (tests,
+targeted failure scenarios) or drawn from a named stream of
+:class:`repro.utils.rng.RngStreams` (degradation sweeps), so the same seed
+always reproduces the same fault timeline regardless of what the traffic
+generator draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import RngStreams
+
+from repro.faults.models import (
+    FaultEvent,
+    PermanentFault,
+    TokenLossFault,
+    TransientFault,
+)
+
+#: Expanded schedule actions: penalty deltas at burst start/end, plus the
+#: permanent / token events verbatim.
+_PENALTY = "penalty"
+
+
+class FaultCampaign:
+    """A deterministic, cycle-stamped schedule of fault events.
+
+    Parameters
+    ----------
+    events:
+        Fault events in any order; the campaign expands transient bursts
+        into (start, +penalty) / (end, -penalty) actions keyed by cycle.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: List[FaultEvent] = list(events)
+        self._actions: Dict[int, List[Tuple]] = {}
+        for ev in self.events:
+            self._expand(ev)
+
+    def _expand(self, ev: FaultEvent) -> None:
+        if ev.at < 0:
+            raise ValueError(f"fault event scheduled before cycle 0: {ev!r}")
+        if isinstance(ev, TransientFault):
+            self._actions.setdefault(ev.at, []).append(
+                (_PENALTY, ev.target, ev.snr_penalty_db)
+            )
+            self._actions.setdefault(ev.at + ev.duration, []).append(
+                (_PENALTY, ev.target, -ev.snr_penalty_db)
+            )
+        else:
+            self._actions.setdefault(ev.at, []).append((type(ev).__name__, ev))
+
+    def add(self, ev: FaultEvent) -> None:
+        self.events.append(ev)
+        self._expand(ev)
+
+    def actions_at(self, cycle: int) -> Optional[List[Tuple]]:
+        """Actions taking effect this cycle (``None`` when there are none).
+
+        The fault layer pops entries as it consumes them, so each action
+        fires exactly once.
+        """
+        return self._actions.pop(cycle, None)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._actions
+
+    def last_cycle(self) -> int:
+        """Cycle after which the campaign has no further effect."""
+        return max(self._actions) if self._actions else 0
+
+    # ------------------------------------------------------------------ #
+    # Generators
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def bursty(
+        cls,
+        link_names: Sequence[str],
+        cycles: int,
+        rng_streams: RngStreams,
+        burst_rate: float,
+        burst_duration: int = 50,
+        snr_penalty_db: float = 5.0,
+        stream_key: object = "campaign",
+    ) -> "FaultCampaign":
+        """Random interference bursts, Bernoulli per link per cycle.
+
+        Each cycle, each named link independently starts a burst with
+        probability ``burst_rate``. Draws come from a dedicated RNG stream
+        so changing the campaign never perturbs traffic randomness.
+        """
+        if not 0.0 <= burst_rate <= 1.0:
+            raise ValueError(f"burst_rate must be in [0, 1], got {burst_rate}")
+        events: List[FaultEvent] = []
+        if burst_rate > 0.0 and link_names:
+            gen = rng_streams.get("faults", stream_key)
+            # One vectorised draw per link keeps the schedule cheap to build
+            # even for multi-thousand-cycle campaigns.
+            for name in link_names:
+                starts = (gen.random(cycles) < burst_rate).nonzero()[0]
+                for at in starts:
+                    events.append(
+                        TransientFault(
+                            at=int(at),
+                            duration=burst_duration,
+                            snr_penalty_db=snr_penalty_db,
+                            target=name,
+                        )
+                    )
+        return cls(events)

@@ -1,0 +1,167 @@
+"""Online channel-health monitoring and live failover.
+
+The :class:`HealthMonitor` is a :meth:`Simulator.add_hook` end-of-cycle
+hook that watches the per-link protocol counters the
+:class:`~repro.faults.linklayer.FaultLayer` maintains. On each epoch
+boundary it classifies every protected channel:
+
+* **persistently silent** -- ``consecutive_failures`` (NACKs/timeouts with
+  no intervening ACK) at or above ``timeout_threshold``: the transceiver is
+  presumed dead;
+* **persistently noisy** -- the epoch's corrupt-attempt fraction at or
+  above ``corruption_threshold`` for ``patience`` consecutive epochs: the
+  channel is burning more bandwidth on retries than it delivers.
+
+Either verdict triggers a live failover: the channel's cluster pair is
+marked failed in :class:`repro.core.faults.FaultTolerantOwn256Routing`
+(new packets immediately take relay routes), a spare reconfiguration
+channel is pinned to the pair when one is feasible
+(:meth:`repro.core.reconfig.ReconfigurationController.pin`), and the link
+layer quiesces the channel -- stranded packets re-enter the network and
+re-route (see :meth:`FaultLayer.quiesce_link`). The network invariant
+audit (:func:`repro.noc.invariants.audit_network`) optionally runs every
+epoch so any bookkeeping violation surfaces at the epoch it happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.faults.linklayer import FaultLayer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.links import Link
+    from repro.noc.simulator import Simulator
+
+
+class HealthMonitor:
+    """Epoch-based failure detector driving online failover.
+
+    Parameters
+    ----------
+    layer:
+        The fault layer whose per-link counters to watch.
+    routing:
+        A routing object with ``fail_channel(src_cluster, dst_cluster)``
+        (e.g. :class:`~repro.core.faults.FaultTolerantOwn256Routing`) and a
+        ``channel_map``. ``None`` disables network-layer failover: the link
+        layer keeps masking faults by retransmission alone.
+    reconfig:
+        Optional :class:`~repro.core.reconfig.ReconfigurationController`;
+        failed pairs get a spare channel pinned when feasible.
+    epoch_cycles:
+        Health-classification window.
+    timeout_threshold:
+        ``consecutive_failures`` needed to declare a channel dead.
+    corruption_threshold, patience:
+        A channel whose corrupt-attempt fraction is >= the threshold for
+        ``patience`` consecutive epochs (with at least ``min_attempts``
+        attempts each) is declared dead.
+    audit:
+        Run the full invariant audit on every epoch boundary.
+    """
+
+    def __init__(
+        self,
+        layer: FaultLayer,
+        routing: Optional[object] = None,
+        reconfig: Optional[object] = None,
+        epoch_cycles: int = 200,
+        timeout_threshold: int = 3,
+        corruption_threshold: float = 0.5,
+        patience: int = 2,
+        min_attempts: int = 4,
+        audit: bool = True,
+    ) -> None:
+        if epoch_cycles < 1:
+            raise ValueError(f"epoch_cycles must be >= 1, got {epoch_cycles}")
+        if not 0.0 < corruption_threshold <= 1.0:
+            raise ValueError("corruption_threshold must be in (0, 1]")
+        self.layer = layer
+        self.routing = routing
+        self.reconfig = reconfig
+        self.epoch_cycles = epoch_cycles
+        self.timeout_threshold = timeout_threshold
+        self.corruption_threshold = corruption_threshold
+        self.patience = patience
+        self.min_attempts = min_attempts
+        self.audit = audit
+
+        self.epochs = 0
+        #: Failover log: (cycle, link name, cluster pair or None).
+        self.failovers: List[Tuple[int, str, Optional[Tuple[int, int]]]] = []
+        self._snap: Dict["Link", Tuple[int, int]] = {}
+        self._strikes: Dict["Link", int] = {}
+        self._pair_by_channel: Optional[Dict[int, Tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, sim: "Simulator") -> None:
+        if sim.now == 0 or sim.now % self.epoch_cycles != 0:
+            return
+        self.epochs += 1
+        for link, state in self.layer.protected.items():
+            if state.failed_over:
+                continue
+            prev_attempts, prev_corrupt = self._snap.get(link, (0, 0))
+            attempts = state.attempts - prev_attempts
+            corrupt = state.corrupt_attempts - prev_corrupt
+            self._snap[link] = (state.attempts, state.corrupt_attempts)
+            noisy = (
+                attempts >= self.min_attempts
+                and corrupt / attempts >= self.corruption_threshold
+            )
+            self._strikes[link] = self._strikes.get(link, 0) + 1 if noisy else 0
+            silent = state.consecutive_failures >= self.timeout_threshold
+            if silent or self._strikes[link] >= self.patience:
+                self.fail_over(sim, link)
+        if self.audit:
+            from repro.noc.invariants import audit_network
+
+            audit_network(sim)
+
+    # ------------------------------------------------------------------ #
+
+    def _pair_for(self, link: "Link") -> Optional[Tuple[int, int]]:
+        """The (src_cluster, dst_cluster) a primary wireless channel serves."""
+        if self.routing is None or link.kind != "wireless" or link.channel_id is None:
+            return None
+        if self._pair_by_channel is None:
+            self._pair_by_channel = {
+                assignment.channel_index: pair
+                for pair, assignment in self.routing.channel_map.items()
+            }
+        return self._pair_by_channel.get(link.channel_id)
+
+    def fail_over(self, sim: "Simulator", link: "Link") -> bool:
+        """Retire ``link``; returns False when no reroute exists.
+
+        Without a reroute (photonic links, spare channels, or a failure
+        pattern that would partition the cluster graph) the channel is left
+        in place and the link layer keeps retrying -- degraded service
+        beats dropped packets.
+        """
+        pair = self._pair_for(link)
+        if pair is None:
+            return False
+        try:
+            self.routing.fail_channel(*pair)
+        except Exception:
+            # UnroutableError: failing this channel would strand some pair.
+            return False
+        if self.reconfig is not None:
+            try:
+                self.reconfig.pin(pair)
+            except ValueError:
+                pass  # no feasible spare left; relay routes still carry it
+        self.layer.quiesce_link(link, sim.now)
+        sim.stats.channels_failed_over += 1
+        self.failovers.append((sim.now, link.name, pair))
+        return True
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "epochs": self.epochs,
+            "failovers": list(self.failovers),
+            "channels_watched": len(self.layer.protected),
+        }

@@ -55,11 +55,20 @@ def _pending_credits_by_endpoint(sim: "Simulator") -> Dict[tuple, int]:
 
 
 def check_flit_conservation(sim: "Simulator") -> None:
-    """created == ejected + buffered + in-flight + NI-queued."""
+    """created + retransmitted == ejected + buffered + in-flight + NI-queued
+    + CRC-dropped.
+
+    On fault-free runs the retransmitted/dropped terms are zero and this is
+    the plain conservation law. With a fault layer attached
+    (:mod:`repro.faults`), every corrupted or lost flit is recorded in
+    ``stats.flits_dropped`` when the receiver discards it, and every replayed
+    copy in ``stats.flits_retransmitted`` when the link layer re-serialises
+    it -- so the balance still closes exactly at any cycle boundary.
+    """
     net = sim.network
     created = sim.stats.flits_created
     ejected = sim.stats.flits_ejected
-    # Ejected flits are gone; infer them: created - (everything still here).
+    # Ejected flits are gone; infer them: available - (everything still here).
     buffered = net.total_occupancy()
     queued = sum(len(ni.queue) for ni in net.interfaces if ni is not None)
     in_flight = sum(
@@ -69,13 +78,16 @@ def check_flit_conservation(sim: "Simulator") -> None:
         if ev[0] == "flit"
     )
     accounted = buffered + queued + in_flight
-    if accounted > created:
+    available = created + sim.stats.flits_retransmitted - sim.stats.flits_dropped
+    if accounted > available:
         raise InvariantViolation(
             f"flit conservation: {accounted} flits present but only "
-            f"{created} were created"
+            f"{available} available (created={created}, "
+            f"retransmitted={sim.stats.flits_retransmitted}, "
+            f"dropped={sim.stats.flits_dropped})"
         )
     # The remainder must equal the ejected count implied by packet stats.
-    implied_ejected = created - accounted
+    implied_ejected = available - accounted
     # Cross-check with the collector when no warmup filtering hides flits.
     if sim.stats.warmup_cycles == 0 and implied_ejected != ejected:
         raise InvariantViolation(
@@ -163,4 +175,6 @@ def audit_network(sim: "Simulator") -> Dict[str, int]:
             1 for evs in sim._events.values() for ev in evs if ev[0] == "flit"
         ),
         "media_held": sum(1 for m in net.mediums if m.holder is not None),
+        "flits_dropped": sim.stats.flits_dropped,
+        "flits_retransmitted": sim.stats.flits_retransmitted,
     }

@@ -180,6 +180,8 @@ class SharedMedium:
         "flits_carried",
         "grants",
         "token_wait_cycles",
+        "blocked_until",
+        "token_losses",
     )
 
     def __init__(
@@ -211,6 +213,11 @@ class SharedMedium:
         # so kilo-core crossbars with tens of thousands of writer links do
         # not pay a per-cycle member scan.
         self.requesters: set = set()
+        # Token blackout (fault injection): while ``now < blocked_until`` the
+        # token is lost -- no grants are issued and the current holder pauses
+        # mid-packet until the token is regenerated.
+        self.blocked_until = 0
+        self.token_losses = 0
         # Stats
         self.flits_carried = 0
         self.grants = 0
@@ -239,6 +246,8 @@ class SharedMedium:
         """
         if self.holder is not None or not self.requesters:
             return
+        if now < self.blocked_until:
+            return  # token lost; awaiting regeneration
         n = len(self.members)
         best_link = None
         best_dist = n
@@ -266,7 +275,23 @@ class SharedMedium:
             self.token_wait_cycles += self.arb_latency
 
     def can_transmit(self, link: "Link", now: int) -> bool:
-        return self.holder is link and now >= self.grant_at and now >= self.busy_until
+        return (
+            self.holder is link
+            and now >= self.grant_at
+            and now >= self.busy_until
+            and now >= self.blocked_until
+        )
+
+    def lose_token(self, now: int, recovery_cycles: int) -> None:
+        """Token-loss fault: freeze the medium until regeneration completes.
+
+        The holder (if any) keeps its logical hold so packet atomicity is
+        preserved; it simply cannot transmit until ``now + recovery_cycles``.
+        """
+        if recovery_cycles < 1:
+            raise ValueError(f"recovery_cycles must be >= 1, got {recovery_cycles}")
+        self.blocked_until = max(self.blocked_until, now + recovery_cycles)
+        self.token_losses += 1
 
     def on_flit_sent(self, now: int, cycles_per_flit: int, is_tail: bool) -> None:
         self.busy_until = now + cycles_per_flit
@@ -324,6 +349,9 @@ class Link:
         "resolver",
         "flits_carried",
         "bits_carried",
+        "bits_retransmitted",
+        "control_msgs",
+        "fault",
         "channel_id",
         "pending_requests",
     )
@@ -367,6 +395,14 @@ class Link:
         self.resolver = resolver
         self.flits_carried = 0
         self.bits_carried = 0
+        # Link-layer protocol accounting (populated by repro.faults):
+        # bits spent on retransmitted flits and ACK/NACK control messages
+        # returned over the reverse channel. Both feed power accounting.
+        self.bits_retransmitted = 0
+        self.control_msgs = 0
+        # Per-link fault state (repro.faults.models.LinkFaultState) when a
+        # fault layer protects this link; None on fault-free runs.
+        self.fault = None
         self.channel_id = channel_id
         # Count of VC-allocated packets currently waiting to use this link;
         # maintained by the router (VCA / tail transmit) to drive the shared

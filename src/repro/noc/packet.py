@@ -147,14 +147,21 @@ class Flit:
     Routing state (``out_port``) is written by the head flit's route
     computation and inherited by body/tail flits through the shared input-VC
     state, so flits themselves only need identity fields.
+
+    ``fate`` is written by the fault-injection layer
+    (:mod:`repro.faults`) while the flit traverses a faulty link:
+    ``None`` (intact), ``"corrupt"`` (CRC fails at the receiver, which
+    discards the packet and NACKs) or ``"lost"`` (a dead transceiver --
+    the receiver hears nothing, so the sender must time out).
     """
 
-    __slots__ = ("packet", "kind", "seq")
+    __slots__ = ("packet", "kind", "seq", "fate")
 
     def __init__(self, packet: Packet, kind: FlitKind, seq: int) -> None:
         self.packet = packet
         self.kind = kind
         self.seq = seq
+        self.fate: Optional[str] = None
 
     @property
     def is_head(self) -> bool:

@@ -55,6 +55,12 @@ class Simulator:
         Cycles for a credit to travel upstream (1 = next-cycle visibility).
     watchdog:
         Zero-progress cycle budget before :class:`SimulationDeadlock`.
+    faults:
+        Optional :class:`repro.faults.linklayer.FaultLayer` adding fault
+        injection + link-layer retransmission. Its engine runs as an extra
+        phase between medium arbitration and switch allocation, and
+        ACK/NACK events are delegated to it from the event loop. ``None``
+        (the default) leaves the cycle loop untouched.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class Simulator:
         warmup_cycles: int = 0,
         credit_latency: int = 1,
         watchdog: int = 2000,
+        faults: Optional[object] = None,
     ) -> None:
         if credit_latency < 1:
             raise ValueError(f"credit_latency must be >= 1, got {credit_latency}")
@@ -77,8 +84,12 @@ class Simulator:
         self._last_progress = 0
         self._flit_width = network.flit_width_bits
         self._hooks: List[Callable[["Simulator"], None]] = []
+        self._paused_traffic: Optional[object] = None
+        self._faults = faults
         if not network._finalized:
             network.finalize()
+        if faults is not None:
+            faults.install(self)
 
     def add_hook(self, hook: Callable[["Simulator"], None]) -> None:
         """Register a callable invoked at the end of every cycle.
@@ -98,12 +109,19 @@ class Simulator:
 
     def _send_fn(self, link: Link, endpoint: Endpoint, flit: Flit, out_vc: int, now: int) -> None:
         link.on_flit_sent(now, flit, self._flit_width)
+        if link.fault is not None:
+            self._faults.note_send(link, flit, now)
         self._schedule(now + link.latency, ("flit", endpoint, out_vc, flit))
 
     def _credit_fn(self, endpoint: Endpoint, vc: int, now: int) -> None:
         self._schedule(now + self.credit_latency, ("credit", endpoint, vc))
 
     def _deliver(self, endpoint: Endpoint, vc: int, flit: Flit, now: int) -> None:
+        if flit.fate is not None:
+            # CRC failure / dead transceiver: the receiver discards the flit
+            # (repro.faults handles credit return and NACK scheduling).
+            self._faults.note_drop(endpoint, vc, flit, now)
+            return
         if endpoint.is_sink:
             self.stats.on_flit_ejected(now)
             if flit.is_tail:
@@ -129,15 +147,24 @@ class Simulator:
                     _, endpoint, vc, flit = ev
                     self._deliver(endpoint, vc, flit, now)
                     moved += 1
-                else:  # "credit"
+                elif ev[0] == "credit":
                     _, endpoint, vc = ev
                     endpoint.return_credit(vc)
+                else:  # link-layer ACK/NACK arrival ("llack")
+                    self._faults.handle_event(ev, now)
 
         # Phase 2: shared-medium (token) arbitration (event-driven request
         # sets; O(requesters) per free medium, not O(members)).
         for medium in self.network.mediums:
             if medium.holder is None and medium.requesters:
                 medium.try_grant(now)
+
+        # Phase 2.5: fault injection + link-layer retransmission engines.
+        # Placed after token arbitration (a freshly granted engine transmits
+        # this cycle) and before SA (retransmissions pre-empt new packets by
+        # marking the link busy).
+        if self._faults is not None:
+            moved += self._faults.tick(self, now)
 
         # Phase 3: switch allocation + traversal.
         send_fn = self._send_fn
@@ -170,13 +197,52 @@ class Simulator:
         if moved:
             self._last_progress = now
         elif self.network.total_occupancy() and now - self._last_progress > self.watchdog:
-            raise SimulationDeadlock(
-                f"{self.network.name}: no progress for {self.watchdog} cycles "
-                f"at cycle {now} with {self.network.total_occupancy()} flits buffered"
-            )
+            raise SimulationDeadlock(self._deadlock_report(now))
 
         self.now = now + 1
         return moved
+
+    def _deadlock_report(self, now: int) -> str:
+        """Deadlock diagnostics: invariant audit + where the flits sit.
+
+        Everything needed to debug a VC-partitioning mistake lands in the
+        exception message: whether a conservation law broke (pointing to a
+        simulator bug) or the audit is clean (pointing to a protocol-level
+        cycle), plus the per-router occupancy of the stuck flits.
+        """
+        from repro.noc.invariants import audit_network
+
+        lines = [
+            f"{self.network.name}: no progress for {self.watchdog} cycles "
+            f"at cycle {now} with {self.network.total_occupancy()} flits buffered"
+        ]
+        try:
+            summary = audit_network(self)
+        except AssertionError as exc:
+            lines.append(f"invariant audit FAILED: {exc}")
+        else:
+            lines.append(f"invariant audit clean: {summary}")
+        stuck = []
+        for router in self.network.routers:
+            occ = router.occupancy()
+            if occ:
+                vcs = []
+                for port in router.input_ports:
+                    for vc in port.vcs:
+                        if vc.queue:
+                            front = vc.queue[0]
+                            vcs.append(
+                                f"in{port.index}.vc{vc.index}[{len(vc.queue)} "
+                                f"flits, {vc.state.name}, pid={front.packet.pid}"
+                                f"->out{vc.out_port}]"
+                            )
+                stuck.append(f"  r{router.rid} ({occ} flits): " + ", ".join(vcs))
+        shown = stuck[:20]
+        lines.append(f"stuck flits by router ({len(stuck)} routers):")
+        lines.extend(shown)
+        if len(stuck) > len(shown):
+            lines.append(f"  ... and {len(stuck) - len(shown)} more routers")
+        return "\n".join(lines)
 
     def run(self, cycles: int) -> None:
         """Advance the simulation by ``cycles`` cycles."""
@@ -184,21 +250,40 @@ class Simulator:
             self.step()
 
     def drain(self, max_cycles: int = 50_000) -> bool:
-        """Stop traffic and run until the network empties.
+        """Pause traffic and run until the network empties.
 
         Returns ``True`` if fully drained, ``False`` on hitting the budget.
+        The traffic process is *paused*, not discarded: call
+        :meth:`resume_traffic` to restore injection after the drain
+        checkpoint.
         """
-        self.traffic = None
+        if self.traffic is not None:
+            self._paused_traffic = self.traffic
+            self.traffic = None
         for _ in range(max_cycles):
             if not self._pending_work():
                 return True
             self.step()
         return not self._pending_work()
 
+    def resume_traffic(self) -> Optional[object]:
+        """Restore the traffic process paused by :meth:`drain`.
+
+        Returns the active traffic process (``None`` if there was none).
+        A traffic object installed manually after the drain wins over the
+        paused one.
+        """
+        if self.traffic is None:
+            self.traffic = self._paused_traffic
+        self._paused_traffic = None
+        return self.traffic
+
     def _pending_work(self) -> bool:
         if self._events:
             return True
         if self.network.total_occupancy():
+            return True
+        if self._faults is not None and self._faults.pending_work():
             return True
         return any(ni is not None and ni.queue for ni in self.network.interfaces)
 

@@ -78,6 +78,19 @@ class StatsCollector:
         self.first_measured_cycle: Optional[int] = None
         self.last_cycle = 0
 
+        # Link-layer retransmission protocol counters (repro.faults). All
+        # stay zero on fault-free runs; flit conservation in
+        # repro.noc.invariants balances created + retransmitted against
+        # ejected + in-network + dropped.
+        self.flits_retransmitted = 0
+        self.flits_dropped = 0
+        self.packets_retransmitted = 0
+        self.acks = 0
+        self.nacks = 0
+        self.timeouts = 0
+        self.packets_recovered = 0
+        self.channels_failed_over = 0
+
     # ------------------------------------------------------------------ #
     # Event hooks (called by the simulator)
     # ------------------------------------------------------------------ #
@@ -137,6 +150,19 @@ class StatsCollector:
 
     def avg_wireless_hops(self) -> float:
         return self.wireless_hop_sum / self.measured_packets if self.measured_packets else float("nan")
+
+    def retransmission_summary(self) -> Dict[str, int]:
+        """Link-layer protocol counters (all zero on fault-free runs)."""
+        return {
+            "flits_retransmitted": self.flits_retransmitted,
+            "flits_dropped": self.flits_dropped,
+            "packets_retransmitted": self.packets_retransmitted,
+            "acks": self.acks,
+            "nacks": self.nacks,
+            "timeouts": self.timeouts,
+            "packets_recovered": self.packets_recovered,
+            "channels_failed_over": self.channels_failed_over,
+        }
 
     def summary(self, end_cycle: int) -> Dict[str, float]:
         lat = self.latency_stats()

@@ -46,6 +46,12 @@ class PowerBreakdown:
     electrical_link_w: float = 0.0
     photonic_w: float = 0.0
     wireless_w: float = 0.0
+    #: Of which: link-layer protocol overhead (retransmitted payload bits
+    #: plus ACK/NACK control traffic, priced by each link's PHY model).
+    #: Already included in ``photonic_w`` / ``wireless_w``, reported
+    #: separately so degradation studies can plot the energy cost of
+    #: reliability (zero on runs without a fault layer).
+    retx_overhead_w: float = 0.0
     duration_s: float = 0.0
     packets: int = 0
     flits_delivered: int = 0
@@ -67,6 +73,7 @@ class PowerBreakdown:
             "electrical_link_w": self.electrical_link_w,
             "photonic_w": self.photonic_w,
             "wireless_w": self.wireless_w,
+            "retx_overhead_w": self.retx_overhead_w,
             "total_w": self.total_w,
             "energy_per_packet_nj": self.energy_per_packet_nj,
         }
@@ -157,10 +164,16 @@ class PowerModel:
             static_mw += self.dsent.router_static_power_mw(router)
         out.router_w = dyn_pj * 1e-12 / duration_s + static_mw * 1e-3
 
-        # Links by technology.
+        # Links by technology. ``bits_carried`` already includes link-layer
+        # retransmissions (they are physical sends); ACK/NACK control
+        # messages ride the reverse channel and are charged on top. The
+        # protocol's share (retransmitted bits + control) is also tallied
+        # into retx_overhead_w for reporting.
         elec_pj = 0.0
         phot_pj = 0.0
         wifi_pj = 0.0
+        retx_pj = 0.0
+        ctrl_bits = self.wireless.control_bits_per_msg
         for link in net.links:
             if link.bits_carried == 0:
                 continue
@@ -168,11 +181,24 @@ class PowerModel:
                 elec_pj += self.dsent.wire_energy_pj(link.bits_carried, link.length_mm)
             elif link.kind == "photonic":
                 phot_pj += self.photonic.link_dynamic_energy_pj(link.bits_carried)
+                if link.control_msgs:
+                    c = self.photonic.link_dynamic_energy_pj(link.control_msgs * ctrl_bits)
+                    phot_pj += c
+                    retx_pj += c
+                if link.bits_retransmitted:
+                    retx_pj += self.photonic.link_dynamic_energy_pj(link.bits_retransmitted)
             elif link.kind == "wireless":
                 e_bit = self.wireless_link_energy_pj_per_bit(link)
                 e_eff = self.wireless.effective_energy_pj(e_bit, link.multicast_degree)
                 wifi_pj += link.bits_carried * e_eff
+                if link.control_msgs:
+                    c = link.control_msgs * ctrl_bits * e_eff
+                    wifi_pj += c
+                    retx_pj += c
+                if link.bits_retransmitted:
+                    retx_pj += link.bits_retransmitted * e_eff
         out.electrical_link_w = elec_pj * 1e-12 / duration_s
+        out.retx_overhead_w = retx_pj * 1e-12 / duration_s
 
         # Wireless static: every channel keeps its TX end and its RX end(s)
         # biased (multicast channels have one receiver per destination

@@ -235,10 +235,17 @@ class WirelessPowerParams:
         Always-on DC draw per transceiver end (oscillator + LNA bias; the
         Fig. 4 blocks idle in OOK between packets). Charged per TX end and
         per RX end of every wireless channel.
+    control_bits_per_msg:
+        Size of a link-layer ACK/NACK control message
+        (:mod:`repro.faults`): sequence number + CRC over the reverse
+        channel. Control messages are charged at the channel's energy/bit
+        by the power accounting (both wireless and photonic links use this
+        protocol constant; each prices the bits with its own PHY model).
     """
 
     tx_energy_fraction: float = 0.6
     static_mw_per_transceiver_end: float = 20.0
+    control_bits_per_msg: float = 16.0
 
     def effective_energy_pj(self, energy_pj: float, multicast_degree: int) -> float:
         if multicast_degree < 1:

@@ -1,0 +1,163 @@
+"""Integration tests for the CRC + ACK/NACK link layer on OWN-256."""
+
+import pytest
+
+from repro.core.faults import build_fault_tolerant_own256
+from repro.faults import (
+    FaultCampaign,
+    FaultLayer,
+    LinkLayerConfig,
+    TokenLossFault,
+    TransientFault,
+)
+from repro.noc import Simulator, reset_packet_ids
+from repro.noc.invariants import audit_network
+from repro.traffic import SyntheticTraffic
+from repro.utils.rng import RngStreams
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_packet_ids()
+
+
+def _run(campaign=None, cycles=400, config=None, seed=7, rate=0.02):
+    built = build_fault_tolerant_own256()
+    layer = FaultLayer(
+        built.network, campaign=campaign, config=config, rng=RngStreams(5)
+    )
+    sim = Simulator(
+        built.network,
+        traffic=SyntheticTraffic(256, "UN", rate, 4, seed=seed),
+        warmup_cycles=100,
+        faults=layer,
+    )
+    sim.run(cycles)
+    assert sim.drain(30_000)
+    return built, sim, layer
+
+
+class TestTransparency:
+    def test_zero_fault_run_is_bit_exact(self):
+        """The flagship guarantee: an installed-but-idle fault layer must
+        not perturb a single latency sample."""
+        reset_packet_ids()
+        built = build_fault_tolerant_own256()
+        baseline = Simulator(
+            built.network,
+            traffic=SyntheticTraffic(256, "UN", 0.02, 4, seed=7),
+            warmup_cycles=100,
+        )
+        baseline.run(400)
+        assert baseline.drain(30_000)
+        base_lat = tuple(baseline.stats.latencies)
+        base_summary = baseline.summary()
+
+        reset_packet_ids()
+        _, sim, _ = _run(campaign=FaultCampaign())
+        assert tuple(sim.stats.latencies) == base_lat
+        assert sim.summary() == base_summary
+        retx = sim.stats.retransmission_summary()
+        # ACKs flow (the protocol is on) but nothing else fires.
+        assert retx["acks"] > 0
+        for key, value in retx.items():
+            if key != "acks":
+                assert value == 0, (key, value)
+
+    def test_healthy_links_never_sample_rng(self):
+        _, sim, layer = _run(campaign=None)
+        for state in layer.protected.values():
+            assert state.corrupt_attempts == 0
+            assert state.lost_attempts == 0
+
+
+class TestRetransmission:
+    def test_transient_burst_recovers_all_traffic(self):
+        campaign = FaultCampaign(
+            [TransientFault(at=100, duration=200, snr_penalty_db=5.0,
+                            target="wireless")]
+        )
+        _, sim, _ = _run(campaign=campaign, cycles=500)
+        assert sim.stats.packets_ejected == sim.stats.packets_created
+        retx = sim.stats.retransmission_summary()
+        assert retx["nacks"] > 0
+        assert retx["packets_retransmitted"] > 0
+        assert retx["flits_dropped"] > 0
+        audit_network(sim)
+
+    def test_forced_corruption_no_loss(self):
+        """Every wireless flit fails CRC with p=0.2; all packets still
+        arrive (retried until clean) and conservation holds."""
+        built = build_fault_tolerant_own256()
+        layer = FaultLayer(built.network, rng=RngStreams(5))
+        for link, state in layer.protected.items():
+            if link.kind == "wireless":
+                state.forced_flit_error_prob = 0.2
+        sim = Simulator(
+            built.network,
+            traffic=SyntheticTraffic(256, "UN", 0.015, 4, seed=3),
+            faults=layer,
+        )
+        sim.run(400)
+        assert sim.drain(30_000)
+        assert sim.stats.packets_ejected == sim.stats.packets_created
+        assert sim.stats.retransmission_summary()["nacks"] > 0
+        audit_network(sim)
+
+    def test_retransmission_energy_is_accounted(self):
+        from repro.power import measure_power
+
+        campaign = FaultCampaign(
+            [TransientFault(at=50, duration=300, snr_penalty_db=5.5,
+                            target="wireless")]
+        )
+        built, sim, _ = _run(campaign=campaign, cycles=500)
+        clean_bits = sum(
+            l.bits_retransmitted for l in built.network.links
+        )
+        assert clean_bits > 0
+        power = measure_power(built, sim)
+        assert power.retx_overhead_w > 0.0
+        assert power.total_w > power.retx_overhead_w
+
+
+class TestTokenLoss:
+    def test_token_loss_freezes_then_recovers(self):
+        campaign = FaultCampaign(
+            [TokenLossFault(at=150, medium_name="c0.wg0", recovery_cycles=8)]
+        )
+        built, sim, _ = _run(campaign=campaign)
+        medium = next(m for m in built.network.mediums if m.name == "c0.wg0")
+        assert medium.token_losses == 1
+        assert sim.stats.packets_ejected == sim.stats.packets_created
+        audit_network(sim)
+
+    def test_unknown_medium_rejected(self):
+        campaign = FaultCampaign(
+            [TokenLossFault(at=10, medium_name="no.such.medium")]
+        )
+        built = build_fault_tolerant_own256()
+        layer = FaultLayer(built.network, campaign=campaign)
+        sim = Simulator(built.network, faults=layer)
+        with pytest.raises(ValueError):
+            sim.run(20)
+
+
+class TestConfigValidation:
+    def test_backoff_ordering_validated(self):
+        with pytest.raises(ValueError):
+            LinkLayerConfig(backoff_base=8, backoff_cap=4)
+
+    def test_replay_capacity_positive(self):
+        with pytest.raises(ValueError):
+            LinkLayerConfig(replay_capacity=0)
+
+    def test_install_rejects_slow_links(self):
+        """A link whose round trip exceeds the timeout cannot distinguish
+        a lost attempt from a slow ACK; install refuses it."""
+        built = build_fault_tolerant_own256()
+        layer = FaultLayer(
+            built.network, config=LinkLayerConfig(timeout=2, ack_latency=1)
+        )
+        with pytest.raises(ValueError):
+            Simulator(built.network, faults=layer)

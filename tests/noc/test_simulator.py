@@ -82,6 +82,35 @@ class TestDrain:
         with pytest.raises(ValueError):
             Simulator(built.network, credit_latency=0)
 
+    def test_resume_traffic_restores_injection(self):
+        built = build_cmesh(64)
+        traffic = SyntheticTraffic(64, "UN", 0.05, 4, seed=1)
+        sim = Simulator(built.network, traffic=traffic)
+        sim.run(100)
+        assert sim.drain()
+        assert sim.traffic is None
+        created = sim.stats.packets_created
+        assert sim.resume_traffic() is traffic
+        sim.run(100)
+        assert sim.stats.packets_created > created
+
+    def test_resume_traffic_prefers_manual_override(self):
+        built = build_cmesh(64)
+        sim = Simulator(
+            built.network, traffic=SyntheticTraffic(64, "UN", 0.05, 4, seed=1)
+        )
+        sim.run(50)
+        sim.drain()
+        override = SyntheticTraffic(64, "UN", 0.01, 4, seed=2)
+        sim.traffic = override
+        assert sim.resume_traffic() is override
+        assert sim._paused_traffic is None
+
+    def test_resume_traffic_without_drain_is_noop(self):
+        built = build_cmesh(64)
+        sim = Simulator(built.network)
+        assert sim.resume_traffic() is None
+
 
 class TestStatsWindows:
     def test_warmup_excludes_early_packets(self):

@@ -169,5 +169,5 @@ class TestAccounting:
         d = measure_power(built, sim).as_dict()
         assert set(d) == {
             "router_w", "electrical_link_w", "photonic_w", "wireless_w",
-            "total_w", "energy_per_packet_nj",
+            "retx_overhead_w", "total_w", "energy_per_packet_nj",
         }

@@ -1,0 +1,64 @@
+"""Property-based checks of the OOK BER model (:mod:`repro.rf.ook`).
+
+The fault layer's corruption probabilities are sampled straight from
+``ook_ber``, so the inverse pair and monotonicity are load-bearing: a
+non-monotone BER curve would make a *deeper* SNR dip *less* harmful.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rf.ook import ook_ber, required_snr_db
+
+_settings = settings(max_examples=200, deadline=None)
+
+# Keep exp(-snr/4) comfortably inside float range: ook_ber underflows to
+# exactly 0.0 above ~33 dB, where the inverse is undefined.
+_snr_db = st.floats(min_value=-10.0, max_value=25.0,
+                    allow_nan=False, allow_infinity=False)
+_ber = st.floats(min_value=1e-30, max_value=0.499,
+                 allow_nan=False, allow_infinity=False)
+
+
+class TestRoundTrip:
+    @given(snr_db=_snr_db)
+    @_settings
+    def test_required_snr_inverts_ber(self, snr_db):
+        assert required_snr_db(ook_ber(snr_db)) == pytest.approx(
+            snr_db, abs=1e-9
+        )
+
+    @given(target=_ber)
+    @_settings
+    def test_ber_inverts_required_snr(self, target):
+        assert ook_ber(required_snr_db(target)) == pytest.approx(
+            target, rel=1e-9
+        )
+
+
+class TestMonotonicity:
+    @given(a=_snr_db, b=_snr_db)
+    @_settings
+    def test_ber_decreases_with_snr(self, a, b):
+        lo, hi = sorted((a, b))
+        assert ook_ber(hi) <= ook_ber(lo)
+
+    @given(a=_ber, b=_ber)
+    @_settings
+    def test_required_snr_decreases_with_target(self, a, b):
+        lo, hi = sorted((a, b))
+        # A laxer (larger) BER target needs no more SNR.
+        assert required_snr_db(hi) <= required_snr_db(lo)
+
+    @given(snr_db=_snr_db)
+    @_settings
+    def test_ber_bounded(self, snr_db):
+        ber = ook_ber(snr_db)
+        assert 0.0 < ber < 0.5
+
+
+class TestDomain:
+    @pytest.mark.parametrize("bad", [0.0, 0.5, 0.7, -0.1])
+    def test_required_snr_rejects_degenerate_targets(self, bad):
+        with pytest.raises(ValueError):
+            required_snr_db(bad)
