@@ -4,22 +4,61 @@ Each bench regenerates one table/figure via its experiment runner (quick
 windows), times it with pytest-benchmark, prints the rendered rows (visible
 with ``pytest -s`` or in the benchmark report), and asserts the paper-shape
 invariants that the reproduction is expected to hold.
+
+The harness routes every engine-aware runner through a shared
+:class:`repro.runtime.Executor` configured from the environment, so CI can
+exercise parallel workers, the result cache and JSONL run records without
+touching the benches themselves:
+
+``REPRO_JOBS``
+    Worker processes for simulation points (default 1, serial).
+``REPRO_CACHE_DIR``
+    Content-addressed result cache directory (default: no cache).
+``REPRO_RUNLOG``
+    Append one JSONL run record per simulation point to this path.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
+
 import pytest
+
+from repro.runtime import Executor
+
+
+@pytest.fixture(scope="session")
+def engine_executor():
+    """One engine executor per benchmark session, configured from env vars.
+
+    Returns ``None`` when no engine knob is set, so default runs stay on
+    each runner's internal serial path.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache = os.environ.get("REPRO_CACHE_DIR") or None
+    runlog = os.environ.get("REPRO_RUNLOG") or None
+    if jobs == 1 and cache is None and runlog is None:
+        return None
+    return Executor(jobs=jobs, cache=cache, runlog=runlog)
 
 
 @pytest.fixture
-def run_experiment(benchmark):
+def run_experiment(benchmark, engine_executor):
     """Run an experiment runner once under the benchmark timer.
 
     Simulation experiments are seconds-long, so a single round is the right
-    granularity; pytest-benchmark records wall time per experiment.
+    granularity; pytest-benchmark records wall time per experiment. Runners
+    that accept an ``executor`` argument get the session's engine executor.
     """
 
     def _run(fn, *args, **kwargs):
+        if (
+            engine_executor is not None
+            and "executor" not in kwargs
+            and "executor" in inspect.signature(fn).parameters
+        ):
+            kwargs = dict(kwargs, executor=engine_executor)
         result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
         print()
         print(result.rendered)

@@ -5,9 +5,12 @@ Commands
 
 ``experiments``
     Regenerate paper tables/figures (all, or a comma list via ``--only``);
-    ``--quick`` shortens the simulation windows.
+    ``--quick`` shortens the simulation windows. ``--jobs/--cache/--runlog``
+    route the simulation points through the parallel/cached execution
+    engine (:mod:`repro.runtime`).
 ``sweep``
-    Latency/throughput load sweep for one topology and pattern.
+    Latency/throughput load sweep for one topology and pattern, with the
+    same ``--jobs/--cache/--runlog`` engine flags.
 ``info``
     Structural summary of a topology (routers, radix, links, media,
     bisection accounting, photonic component inventory).
@@ -21,7 +24,7 @@ import argparse
 import inspect
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.analysis import (
     EXPERIMENTS,
@@ -29,21 +32,54 @@ from repro.analysis import (
     load_sweep,
     measure_bisection,
 )
-from repro.core import build_own256, build_own1024
-from repro.topologies import build_cmesh, build_optxb, build_pclos, build_wcmesh
+from repro.runtime import DEFAULT_CACHE_DIR, Executor, NAMED_TOPOLOGIES, build_ref
 
 TOPOLOGIES: Dict[str, Callable] = {
-    "own256": build_own256,
-    "own1024": build_own1024,
-    "cmesh256": lambda: build_cmesh(256),
-    "cmesh1024": lambda: build_cmesh(1024),
-    "wcmesh256": lambda: build_wcmesh(256),
-    "wcmesh1024": lambda: build_wcmesh(1024),
-    "optxb256": lambda: build_optxb(256),
-    "optxb1024": lambda: build_optxb(1024),
-    "pclos256": lambda: build_pclos(256),
-    "pclos1024": lambda: build_pclos(1024, n_middles=32),
+    name: (lambda ref=ref: build_ref(ref)) for name, ref in NAMED_TOPOLOGIES.items()
 }
+
+
+def add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by simulation-driving commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None, metavar="DIR",
+        help=f"reuse cached results from DIR (default dir: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--runlog", default=None, metavar="PATH",
+        help="append one JSONL run record per simulation point to PATH",
+    )
+
+
+def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
+    """Build an engine executor from CLI flags (``None`` if all defaults)."""
+    if args.jobs == 1 and args.cache is None and args.runlog is None:
+        return None
+
+    def _progress(done: int, total: int, result) -> None:
+        tag = "cache" if result.cache_hit else f"{result.wall_s:.1f}s"
+        print(f"  [{done}/{total}] {result.spec.label()} ({tag})", file=sys.stderr)
+
+    return Executor(
+        jobs=args.jobs, cache=args.cache, runlog=args.runlog, progress=_progress
+    )
+
+
+def report_engine_stats(executor: Optional[Executor]) -> None:
+    if executor is None:
+        return
+    stats = executor.stats()
+    line = (
+        f"engine: {stats['runs_executed']} simulated, "
+        f"{stats['runs_from_cache']} from cache"
+    )
+    if executor.cache is not None:
+        line += f" (hit rate {executor.cache.hit_rate:.0%})"
+    print(line, file=sys.stderr)
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -53,11 +89,15 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
         print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    executor = executor_from_args(args)
     for key in wanted:
         runner = EXPERIMENTS[key]
+        params = inspect.signature(runner).parameters
         kwargs = {}
-        if args.quick and "quick" in inspect.signature(runner).parameters:
+        if args.quick and "quick" in params:
             kwargs["quick"] = True
+        if executor is not None and "executor" in params:
+            kwargs["executor"] = executor
         t0 = time.time()
         result = runner(**kwargs)
         print("=" * 72)
@@ -65,19 +105,22 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         print(result.rendered)
         for k, v in result.notes.items():
             print(f"  note {k}: {v}")
+    report_engine_stats(executor)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    builder = TOPOLOGIES[args.topology]
+    ref = NAMED_TOPOLOGIES[args.topology]
     rates = [float(r) for r in args.rates.split(",")]
+    executor = executor_from_args(args)
     sweep = load_sweep(
-        builder,
+        ref,
         args.pattern,
         rates,
         cycles=args.cycles,
         warmup=args.warmup,
         name=args.topology,
+        executor=executor,
     )
     rows = [
         [p.offered, round(p.latency, 1), round(p.throughput, 4),
@@ -90,6 +133,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         title=f"{args.topology} / {args.pattern}",
     ))
     print(f"saturation offered load: {sweep.saturation_offered()}")
+    report_engine_stats(executor)
     return 0
 
 
@@ -147,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--only", default="", help="comma-separated experiment ids")
     p_exp.add_argument("--quick", action="store_true")
+    add_engine_flags(p_exp)
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_sweep = sub.add_parser("sweep", help="latency/throughput load sweep")
@@ -155,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--rates", default="0.01,0.02,0.03,0.04,0.05")
     p_sweep.add_argument("--cycles", type=int, default=1200)
     p_sweep.add_argument("--warmup", type=int, default=400)
+    add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_info = sub.add_parser("info", help="structural summary of a topology")

@@ -16,11 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.own256 import build_own256
-from repro.noc.packet import reset_packet_ids
-from repro.noc.simulator import Simulator
-from repro.power import SCENARIOS, measure_power
-from repro.traffic.generator import SyntheticTraffic
+from repro.power import SCENARIOS
+from repro.runtime import Executor, RunResult, RunSpec, get_executor
 
 
 @dataclass(frozen=True)
@@ -79,37 +76,62 @@ def default_space() -> List[DesignPoint]:
     return points
 
 
+def _shape_spec(
+    point: DesignPoint,
+    rate: float,
+    cycles: int,
+    warmup: int,
+    seed: int,
+    power: Tuple[Tuple[int, int], ...],
+) -> RunSpec:
+    """The engine spec for one *network shape* (vc depth, serialization).
+
+    Power configurations re-score the same simulation, so every design
+    point sharing a shape maps onto one spec whose ``power`` tuple covers
+    all its (config, scenario) pairs -- the paper's 4x2 grid costs two
+    simulations, not eight, and the result cache sees shape-level digests.
+    """
+    return RunSpec.create(
+        "own256",
+        pattern="UN",
+        rate=rate,
+        cycles=cycles,
+        warmup=warmup,
+        seed=seed,
+        topology_kwargs={
+            "vc_depth": point.vc_depth,
+            "wireless_cycles_per_flit": point.wireless_cycles_per_flit,
+        },
+        power=power,
+    )
+
+
+def _evaluated_from_run(point: DesignPoint, run: RunResult) -> EvaluatedPoint:
+    breakdown = run.power_for(point.config_id, point.scenario)
+    return EvaluatedPoint(
+        point=point,
+        latency=run.summary["latency_mean"],
+        throughput=run.summary["throughput"],
+        power_w=breakdown["total_w"],
+        energy_per_packet_nj=breakdown["energy_per_packet_nj"],
+    )
+
+
 def evaluate_point(
     point: DesignPoint,
     rate: float = 0.03,
     cycles: int = 1000,
     warmup: int = 300,
     seed: int = 6,
+    executor: Optional[Executor] = None,
 ) -> EvaluatedPoint:
     """Simulate one design point and measure its merit figures."""
     if point.scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {point.scenario}")
-    reset_packet_ids()
-    built = build_own256(
-        vc_depth=point.vc_depth,
-        wireless_cycles_per_flit=point.wireless_cycles_per_flit,
+    spec = _shape_spec(
+        point, rate, cycles, warmup, seed, ((point.config_id, point.scenario),)
     )
-    sim = Simulator(
-        built.network,
-        traffic=SyntheticTraffic(256, "UN", rate, 4, seed=seed),
-        warmup_cycles=warmup,
-    )
-    sim.run(cycles)
-    breakdown = measure_power(
-        built, sim, config_id=point.config_id, scenario=point.scenario
-    )
-    return EvaluatedPoint(
-        point=point,
-        latency=sim.mean_latency(),
-        throughput=sim.throughput(),
-        power_w=breakdown.total_w,
-        energy_per_packet_nj=breakdown.energy_per_packet_nj,
-    )
+    return _evaluated_from_run(point, get_executor(executor).run_one(spec))
 
 
 def pareto_frontier(evaluated: Sequence[EvaluatedPoint]) -> List[EvaluatedPoint]:
@@ -164,42 +186,38 @@ def explore(
     cycles: int = 1000,
     warmup: int = 300,
     seed: int = 6,
+    executor: Optional[Executor] = None,
 ) -> ExplorationResult:
     """Evaluate a design space and extract its Pareto frontier.
 
-    Simulation results are cached per unique *network* shape (vc_depth,
-    serialization): power configurations re-score the same run, so the
-    paper's 4x2 grid costs two simulations, not eight.
+    Design points are grouped per unique *network shape* (vc_depth,
+    serialization) and each shape becomes one engine
+    :class:`~repro.runtime.spec.RunSpec` carrying every (config, scenario)
+    pair that shape must score: the paper's 4x2 grid costs two
+    simulations, not eight. Shapes run through the supplied executor, so
+    a wide exploration parallelises across worker processes and re-runs
+    hit the result cache.
     """
     pts = list(points) if points is not None else default_space()
-    sim_cache: Dict[Tuple[int, int], Tuple[object, object]] = {}
-    evaluated: List[EvaluatedPoint] = []
+    by_shape: Dict[Tuple[int, int], List[DesignPoint]] = {}
     for point in pts:
+        if point.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {point.scenario}")
         shape = (point.vc_depth, point.wireless_cycles_per_flit)
-        if shape not in sim_cache:
-            reset_packet_ids()
-            built = build_own256(
-                vc_depth=point.vc_depth,
-                wireless_cycles_per_flit=point.wireless_cycles_per_flit,
-            )
-            sim = Simulator(
-                built.network,
-                traffic=SyntheticTraffic(256, "UN", rate, 4, seed=seed),
-                warmup_cycles=warmup,
-            )
-            sim.run(cycles)
-            sim_cache[shape] = (built, sim)
-        built, sim = sim_cache[shape]
-        breakdown = measure_power(
-            built, sim, config_id=point.config_id, scenario=point.scenario
+        by_shape.setdefault(shape, []).append(point)
+
+    shapes = list(by_shape)
+    specs = []
+    for shape in shapes:
+        members = by_shape[shape]
+        power = tuple(dict.fromkeys((p.config_id, p.scenario) for p in members))
+        specs.append(_shape_spec(members[0], rate, cycles, warmup, seed, power))
+    runs = dict(zip(shapes, get_executor(executor).run(specs)))
+
+    evaluated = [
+        _evaluated_from_run(
+            point, runs[(point.vc_depth, point.wireless_cycles_per_flit)]
         )
-        evaluated.append(
-            EvaluatedPoint(
-                point=point,
-                latency=sim.mean_latency(),
-                throughput=sim.throughput(),
-                power_w=breakdown.total_w,
-                energy_per_packet_nj=breakdown.energy_per_packet_nj,
-            )
-        )
+        for point in pts
+    ]
     return ExplorationResult(evaluated=evaluated, frontier=pareto_frontier(evaluated))

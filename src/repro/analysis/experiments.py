@@ -12,11 +12,11 @@ EXPERIMENTS.md against measured output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.sweep import SweepResult, load_sweep, run_point
+from repro.analysis.sweep import SweepResult, compare_saturation, load_sweep, run_point
 from repro.analysis.tables import format_table
 from repro.core import (
     build_own256,
@@ -25,7 +25,6 @@ from repro.core import (
     own1024_channels,
     sdm_frequency_reuse_groups,
 )
-from repro.noc.packet import reset_packet_ids
 from repro.noc.simulator import Simulator
 from repro.power import (
     CONFIGURATIONS,
@@ -37,7 +36,14 @@ from repro.power import (
     wireless_channel_table,
 )
 from repro.rf import ClassABPA, CascodeLNA, ColpittsOscillator, LinkBudget
-from repro.topologies import build_cmesh, build_optxb, build_pclos, build_wcmesh
+from repro.runtime import (
+    Executor,
+    FaultSpec,
+    RunSpec,
+    build_ref,
+    execute_inline,
+    get_executor,
+)
 from repro.traffic import SyntheticTraffic, TrafficPattern
 
 
@@ -59,24 +65,39 @@ class ExperimentResult:
 # Topology registries used by the figure experiments
 # --------------------------------------------------------------------- #
 
+#: Paper display name -> execution-engine topology reference. The figure
+#: experiments submit these as :class:`~repro.runtime.spec.RunSpec`s so
+#: every simulation point is cacheable and parallelisable.
+SPEC_BUILDERS_256: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "CMESH": ("cmesh", {"n_cores": 256}),
+    "wCMESH": ("wcmesh", {"n_cores": 256}),
+    "OptXB": ("optxb", {"n_cores": 256}),
+    "p-Clos": ("pclos", {"n_cores": 256}),
+    "OWN": ("own256", {}),
+}
+
+SPEC_BUILDERS_1024: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "CMESH": ("cmesh", {"n_cores": 1024}),
+    "wCMESH": ("wcmesh", {"n_cores": 1024}),
+    "OptXB": ("optxb", {"n_cores": 1024}),
+    "p-Clos": ("pclos", {"n_cores": 1024, "n_middles": 32}),
+    "OWN": ("own1024", {}),
+}
+
 
 def builders_256() -> Dict[str, Callable]:
+    """Legacy callable view of :data:`SPEC_BUILDERS_256`."""
     return {
-        "CMESH": lambda: build_cmesh(256),
-        "wCMESH": lambda: build_wcmesh(256),
-        "OptXB": lambda: build_optxb(256),
-        "p-Clos": lambda: build_pclos(256),
-        "OWN": build_own256,
+        name: (lambda ref=ref: build_ref(ref))
+        for name, ref in SPEC_BUILDERS_256.items()
     }
 
 
 def builders_1024() -> Dict[str, Callable]:
+    """Legacy callable view of :data:`SPEC_BUILDERS_1024`."""
     return {
-        "CMESH": lambda: build_cmesh(1024),
-        "wCMESH": lambda: build_wcmesh(1024),
-        "OptXB": lambda: build_optxb(1024),
-        "p-Clos": lambda: build_pclos(1024, n_middles=32),
-        "OWN": build_own1024,
+        name: (lambda ref=ref: build_ref(ref))
+        for name, ref in SPEC_BUILDERS_1024.items()
     }
 
 
@@ -223,7 +244,9 @@ def fig4_transceiver() -> ExperimentResult:
 # --------------------------------------------------------------------- #
 
 
-def fig5_wireless_power(quick: bool = False, rate: float = 0.03) -> ExperimentResult:
+def fig5_wireless_power(
+    quick: bool = False, rate: float = 0.03, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Fig. 5: avg wireless link power, configs 1-4 x scenarios 1-2, UN.
 
     Paper shape: configs 1 and 3 (SiGe long-range) highest under both
@@ -231,31 +254,19 @@ def fig5_wireless_power(quick: bool = False, rate: float = 0.03) -> ExperimentRe
     by ~80 % (S1) / ~57 % (S2).
     """
     cycles = 800 if quick else 2000
-    reset_packet_ids()
-    built = build_own256()
-    sim = Simulator(
-        built.network,
-        traffic=SyntheticTraffic(256, "UN", rate, 4, seed=11),
+    power_pairs = tuple(
+        (cfg, scen_num) for scen_num in SCENARIOS for cfg in sorted(CONFIGURATIONS)
     )
-    sim.run(cycles)
+    spec = RunSpec.create(
+        "own256", pattern="UN", rate=rate, cycles=cycles, seed=11, power=power_pairs
+    )
+    run = get_executor(executor).run_one(spec)
 
     rows: List[List[object]] = []
     per_cfg: Dict[tuple, float] = {}
-    for scen_num, scen in SCENARIOS.items():
+    for scen_num in SCENARIOS:
         for cfg in sorted(CONFIGURATIONS):
-            model = PowerModel(config_id=cfg, scenario=scen)
-            duration = model.dsent.cycles_to_seconds(sim.now)
-            wifi_pj = 0.0
-            n_links = 0
-            for link in built.network.links:
-                if link.kind != "wireless" or link.bits_carried == 0:
-                    continue
-                e = model.wireless_link_energy_pj_per_bit(link)
-                wifi_pj += link.bits_carried * model.wireless.effective_energy_pj(
-                    e, link.multicast_degree
-                )
-                n_links += 1
-            avg_mw = wifi_pj * 1e-12 / duration / max(1, n_links) * 1e3
+            avg_mw = run.power_for(cfg, scen_num)["avg_wireless_link_mw"]
             per_cfg[(scen_num, cfg)] = avg_mw
             rows.append([scen_num, cfg, round(avg_mw, 3)])
     notes = {}
@@ -276,7 +287,9 @@ def fig5_wireless_power(quick: bool = False, rate: float = 0.03) -> ExperimentRe
 # --------------------------------------------------------------------- #
 
 
-def fig6_power_256(quick: bool = False, rate: float = 0.03) -> ExperimentResult:
+def fig6_power_256(
+    quick: bool = False, rate: float = 0.03, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Fig. 6: component power for all 256-core architectures plus the four
     OWN configurations, uniform random traffic.
 
@@ -288,28 +301,39 @@ def fig6_power_256(quick: bool = False, rate: float = 0.03) -> ExperimentResult:
     rows: List[List[object]] = []
     totals: Dict[str, float] = {}
 
-    for name, builder in builders_256().items():
-        reset_packet_ids()
-        built = builder()
-        sim = Simulator(
-            built.network, traffic=SyntheticTraffic(256, "UN", rate, 4, seed=11)
+    names = list(SPEC_BUILDERS_256)
+    specs = []
+    for name in names:
+        key, kwargs = SPEC_BUILDERS_256[name]
+        power = (
+            tuple((cfg, 1) for cfg in sorted(CONFIGURATIONS))
+            if name == "OWN"
+            else ((4, 1),)
         )
-        sim.run(cycles)
+        specs.append(
+            RunSpec.create(
+                key, pattern="UN", rate=rate, cycles=cycles, seed=11,
+                topology_kwargs=kwargs, power=power,
+            )
+        )
+    for name, run in zip(names, get_executor(executor).run(specs)):
         if name == "OWN":
             for cfg in sorted(CONFIGURATIONS):
-                pb = measure_power(built, sim, config_id=cfg, scenario=1)
+                pb = run.power_for(cfg, 1)
                 label = f"OWN-cfg{cfg}"
-                totals[label] = pb.total_w
+                totals[label] = pb["total_w"]
                 rows.append(
-                    [label, round(pb.router_w, 3), round(pb.electrical_link_w, 3),
-                     round(pb.photonic_w, 3), round(pb.wireless_w, 3), round(pb.total_w, 3)]
+                    [label, round(pb["router_w"], 3), round(pb["electrical_link_w"], 3),
+                     round(pb["photonic_w"], 3), round(pb["wireless_w"], 3),
+                     round(pb["total_w"], 3)]
                 )
         else:
-            pb = measure_power(built, sim, config_id=4, scenario=1)
-            totals[name] = pb.total_w
+            pb = run.power_for(4, 1)
+            totals[name] = pb["total_w"]
             rows.append(
-                [name, round(pb.router_w, 3), round(pb.electrical_link_w, 3),
-                 round(pb.photonic_w, 3), round(pb.wireless_w, 3), round(pb.total_w, 3)]
+                [name, round(pb["router_w"], 3), round(pb["electrical_link_w"], 3),
+                 round(pb["photonic_w"], 3), round(pb["wireless_w"], 3),
+                 round(pb["total_w"], 3)]
             )
     own = totals["OWN-cfg4"]
     notes = {
@@ -333,7 +357,9 @@ def fig6_power_256(quick: bool = False, rate: float = 0.03) -> ExperimentResult:
 PAPER_PATTERNS = ("UN", "BR", "MT", "PS", "NBR")
 
 
-def fig7a_throughput_256(quick: bool = False) -> ExperimentResult:
+def fig7a_throughput_256(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Fig. 7(a): saturation throughput per synthetic pattern, 256 cores.
 
     Paper shape: throughputs are close across networks (similar bisection);
@@ -344,20 +370,22 @@ def fig7a_throughput_256(quick: bool = False) -> ExperimentResult:
     rates = (0.02, 0.03, 0.04) if quick else (0.02, 0.03, 0.04, 0.05, 0.06)
     rows: List[List[object]] = []
     for pattern in PAPER_PATTERNS:
+        sweeps = compare_saturation(
+            SPEC_BUILDERS_256, pattern, rates, cycles=cycles, executor=executor
+        )
         row: List[object] = [pattern]
-        for name, builder in builders_256().items():
-            sweep = load_sweep(builder, pattern, rates, cycles=cycles, name=name)
-            row.append(round(sweep.saturation_throughput(), 4))
+        for name in SPEC_BUILDERS_256:
+            row.append(round(sweeps[name].saturation_throughput(), 4))
         rows.append(row)
     return ExperimentResult(
         "Fig. 7(a): saturation throughput [flits/core/cycle], 256 cores",
-        ["pattern"] + list(builders_256().keys()),
+        ["pattern"] + list(SPEC_BUILDERS_256),
         rows,
     )
 
 
 def fig7bc_latency_256(
-    pattern: str = "UN", quick: bool = False
+    pattern: str = "UN", quick: bool = False, executor: Optional[Executor] = None
 ) -> ExperimentResult:
     """Fig. 7(b, c): latency vs offered load for UN (b) and BR (c).
 
@@ -367,9 +395,9 @@ def fig7bc_latency_256(
     """
     cycles = 900 if quick else 1500
     rates = (0.01, 0.02, 0.03, 0.04) if quick else (0.01, 0.02, 0.03, 0.035, 0.04, 0.045, 0.05, 0.06)
-    results: Dict[str, SweepResult] = {}
-    for name, builder in builders_256().items():
-        results[name] = load_sweep(builder, pattern, rates, cycles=cycles, name=name)
+    results: Dict[str, SweepResult] = compare_saturation(
+        SPEC_BUILDERS_256, pattern, rates, cycles=cycles, executor=executor
+    )
     rows: List[List[object]] = []
     for name, sweep in results.items():
         for p in sweep.points:
@@ -396,7 +424,9 @@ def fig7bc_latency_256(
 FIG8_PATTERNS = ("UN", "BR", "PS")
 
 
-def fig8a_throughput_1024(quick: bool = False) -> ExperimentResult:
+def fig8a_throughput_1024(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Fig. 8(a): 1024-core throughput on select synthetic traces.
 
     Paper shape: "The throughput variation is not significant across
@@ -406,19 +436,23 @@ def fig8a_throughput_1024(quick: bool = False) -> ExperimentResult:
     rates = (0.006, 0.01) if quick else (0.006, 0.01, 0.014)
     rows: List[List[object]] = []
     for pattern in FIG8_PATTERNS:
+        sweeps = compare_saturation(
+            SPEC_BUILDERS_1024, pattern, rates, cycles=cycles, executor=executor
+        )
         row: List[object] = [pattern]
-        for name, builder in builders_1024().items():
-            sweep = load_sweep(builder, pattern, rates, cycles=cycles, name=name)
-            row.append(round(sweep.saturation_throughput(), 4))
+        for name in SPEC_BUILDERS_1024:
+            row.append(round(sweeps[name].saturation_throughput(), 4))
         rows.append(row)
     return ExperimentResult(
         "Fig. 8(a): saturation throughput [flits/core/cycle], 1024 cores",
-        ["pattern"] + list(builders_1024().keys()),
+        ["pattern"] + list(SPEC_BUILDERS_1024),
         rows,
     )
 
 
-def fig8b_power_1024(quick: bool = False, rate: float = 0.01) -> ExperimentResult:
+def fig8b_power_1024(
+    quick: bool = False, rate: float = 0.01, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Fig. 8(b): average power per packet, 1024 cores.
 
     Paper shape: OWN ~30 % above OptXB (OptXB keeps the power edge; its
@@ -428,19 +462,21 @@ def fig8b_power_1024(quick: bool = False, rate: float = 0.01) -> ExperimentResul
     cycles = 600 if quick else 1500
     rows: List[List[object]] = []
     totals: Dict[str, float] = {}
-    for name, builder in builders_1024().items():
-        reset_packet_ids()
-        built = builder()
-        sim = Simulator(
-            built.network, traffic=SyntheticTraffic(1024, "UN", rate, 4, seed=11)
+    names = list(SPEC_BUILDERS_1024)
+    specs = [
+        RunSpec.create(
+            SPEC_BUILDERS_1024[name][0], pattern="UN", rate=rate, cycles=cycles,
+            seed=11, topology_kwargs=SPEC_BUILDERS_1024[name][1], power=((4, 1),),
         )
-        sim.run(cycles)
-        pb = measure_power(built, sim, config_id=4, scenario=1)
-        totals[name] = pb.total_w
+        for name in names
+    ]
+    for name, run in zip(names, get_executor(executor).run(specs)):
+        pb = run.power_for(4, 1)
+        totals[name] = pb["total_w"]
         rows.append(
-            [name, round(pb.router_w, 2), round(pb.electrical_link_w, 2),
-             round(pb.photonic_w, 2), round(pb.wireless_w, 2),
-             round(pb.total_w, 2), round(pb.energy_per_packet_nj, 2)]
+            [name, round(pb["router_w"], 2), round(pb["electrical_link_w"], 2),
+             round(pb["photonic_w"], 2), round(pb["wireless_w"], 2),
+             round(pb["total_w"], 2), round(pb["energy_per_packet_nj"], 2)]
         )
     notes = {
         "own_over_optxb_pct": 100 * (totals["OWN"] / totals["OptXB"] - 1),
@@ -459,21 +495,28 @@ def fig8b_power_1024(quick: bool = False, rate: float = 0.01) -> ExperimentResul
 # --------------------------------------------------------------------- #
 
 
-def ablation_token_latency(quick: bool = False) -> ExperimentResult:
+def ablation_token_latency(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Token cost ablation: OptXB saturation vs token latency.
 
     Sec. V-B attributes OptXB's throughput dip to token transfer cycles;
     this sweep shows saturation throughput degrading as the token slows.
     """
     cycles = 800 if quick else 1500
+    tokens = (0, 2, 4, 10, 20)
     rows = []
-    for token in (0, 2, 4, 10, 20):
-        point = run_point(
-            lambda token=token: build_optxb(256, token_latency=token),
+    points = [
+        run_point(
+            ("optxb", {"n_cores": 256, "token_latency": token}),
             "UN",
             0.04,
             cycles=cycles,
+            executor=executor,
         )
+        for token in tokens
+    ]
+    for token, point in zip(tokens, points):
         rows.append([token, round(point.latency, 1), round(point.throughput, 4)])
     return ExperimentResult(
         "Ablation: OptXB token latency vs performance (UN @ 0.04)",
@@ -500,13 +543,12 @@ def ablation_antenna_placement(quick: bool = False) -> ExperimentResult:
     cycles = 800 if quick else 1500
     rows = []
     for placement in ("corners", "center"):
-        reset_packet_ids()
-        built = build_own256(antenna_placement=placement)
-        sim = Simulator(
-            built.network, traffic=SyntheticTraffic(256, "UN", 0.035, 4, seed=11),
-            warmup_cycles=300,
+        built, sim, _ = execute_inline(
+            RunSpec.create(
+                "own256", pattern="UN", rate=0.035, cycles=cycles, warmup=300,
+                seed=11, topology_kwargs={"antenna_placement": placement},
+            )
         )
-        sim.run(cycles)
         net = built.network
         # Per-cluster activity heatmap over the 4x4 tile grid.
         worst_share = 0.0
@@ -566,20 +608,19 @@ def ablation_radix_vs_hops(quick: bool = False) -> ExperimentResult:
     """
     cycles = 500 if quick else 1000
     rows = []
-    for name, builder in (("OWN", build_own1024), ("wCMESH", lambda: build_wcmesh(1024))):
-        reset_packet_ids()
-        built = builder()
-        sim = Simulator(
-            built.network, traffic=SyntheticTraffic(1024, "UN", 0.008, 4, seed=11)
+    for name, ref in (("OWN", ("own1024", {})), ("wCMESH", ("wcmesh", {"n_cores": 1024}))):
+        built, sim, run = execute_inline(
+            RunSpec.create(
+                ref[0], pattern="UN", rate=0.008, cycles=cycles, seed=11,
+                topology_kwargs=ref[1], power=((4, 1),),
+            )
         )
-        sim.run(cycles)
-        pb = measure_power(built, sim)
         max_radix = max(
             r.attrs.get("paper_radix", r.radix) for r in built.network.routers
         )
         rows.append(
             [name, max_radix, round(sim.stats.avg_hops(), 2),
-             round(sim.mean_latency(), 1), round(pb.router_w, 2)]
+             round(sim.mean_latency(), 1), round(run.power_for(4, 1)["router_w"], 2)]
         )
     return ExperimentResult(
         "Ablation: radix vs hop count, 1024 cores (UN @ 0.008)",
@@ -635,18 +676,18 @@ def study_thermal(quick: bool = False) -> ExperimentResult:
     cycles = 500 if quick else 1000
     rows: List[List[object]] = []
     cases = [
-        ("OWN corners", build_own256),
-        ("OWN center", lambda: build_own256(antenna_placement="center")),
-        ("OptXB", lambda: build_optxb(256)),
-        ("CMESH", lambda: build_cmesh(256)),
+        ("OWN corners", ("own256", {})),
+        ("OWN center", ("own256", {"antenna_placement": "center"})),
+        ("OptXB", ("optxb", {"n_cores": 256})),
+        ("CMESH", ("cmesh", {"n_cores": 256})),
     ]
-    for name, builder in cases:
-        reset_packet_ids()
-        built = builder()
-        sim = Simulator(
-            built.network, traffic=SyntheticTraffic(256, "UN", 0.03, 4, seed=2)
+    for name, (key, kwargs) in cases:
+        built, sim, _ = execute_inline(
+            RunSpec.create(
+                key, pattern="UN", rate=0.03, cycles=cycles, seed=2,
+                topology_kwargs=kwargs,
+            )
         )
-        sim.run(cycles)
         rep = thermal_report(built, sim)
         rows.append(
             [name, round(rep.peak_c, 2), round(rep.gradient_c, 2),
@@ -710,8 +751,9 @@ def study_reconfiguration(quick: bool = False) -> ExperimentResult:
 
     cycles = 1200 if quick else 2500
     rows: List[List[object]] = []
+    # Adaptive-controller hook + bespoke hotspot pattern: runs in-process on
+    # the simulator directly (per-run packet-id isolation needs no reset).
     for label, with_reconfig in (("static", False), ("reconfigurable", True)):
-        reset_packet_ids()
         built = build_own256(with_reconfiguration=with_reconfig)
         hot = TrafficPattern(
             "HOT", 256, hotspot_fraction=0.6, hotspots=list(range(128, 192))
@@ -737,29 +779,25 @@ def study_reconfiguration(quick: bool = False) -> ExperimentResult:
     )
 
 
-def study_fault_tolerance(quick: bool = False) -> ExperimentResult:
+def study_fault_tolerance(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Latency/throughput degradation as wireless channels fail."""
-    from repro.core.faults import build_fault_tolerant_own256
-
     cycles = 800 if quick else 1500
-    rows: List[List[object]] = []
     fault_sets = [[], [(0, 2)], [(0, 2), (1, 3)], [(0, 2), (1, 3), (2, 1)]]
-    for faults in fault_sets:
-        reset_packet_ids()
-        built = build_fault_tolerant_own256()
-        routing = built.notes["routing"]
-        for (cs, cd) in faults:
-            routing.fail_channel(cs, cd)
-        sim = Simulator(
-            built.network,
-            traffic=SyntheticTraffic(256, "UN", 0.02, 4, seed=2),
-            warmup_cycles=200,
+    specs = [
+        RunSpec.create(
+            "own256_ft", pattern="UN", rate=0.02, cycles=cycles, warmup=200,
+            seed=2, topology_kwargs={"failed_channels": tuple(faults)},
         )
-        sim.run(cycles)
+        for faults in fault_sets
+    ]
+    rows: List[List[object]] = []
+    for faults, run in zip(fault_sets, get_executor(executor).run(specs)):
         rows.append(
-            [len(faults), round(sim.mean_latency(), 1),
-             round(sim.throughput(), 4),
-             round(sim.stats.avg_wireless_hops(), 3)]
+            [len(faults), round(run.summary["latency_mean"], 1),
+             round(run.summary["throughput"], 4),
+             round(run.summary["avg_wireless_hops"], 3)]
         )
     return ExperimentResult(
         "Study: channel failures vs performance (UN @ 0.02)",
@@ -768,26 +806,25 @@ def study_fault_tolerance(quick: bool = False) -> ExperimentResult:
     )
 
 
-def study_bursty_traffic(quick: bool = False) -> ExperimentResult:
+def study_bursty_traffic(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """OWN-256 under bursty (MMBP) traffic at equal mean load."""
-    from repro.traffic.bursty import BurstyTraffic
-
     cycles = 1000 if quick else 2000
-    rows: List[List[object]] = []
-    for burst_factor in (1.0, 4.0, 8.0):
-        reset_packet_ids()
-        built = build_own256()
-        sim = Simulator(
-            built.network,
-            traffic=BurstyTraffic(256, "UN", 0.025, 4, seed=2,
-                                  burst_factor=burst_factor),
-            warmup_cycles=300,
+    factors = (1.0, 4.0, 8.0)
+    specs = [
+        RunSpec.create(
+            "own256", pattern="UN", rate=0.025, cycles=cycles, warmup=300,
+            seed=2, traffic_kind="bursty", burst_factor=burst_factor,
         )
-        sim.run(cycles)
-        lat = sim.stats.latency_stats()
+        for burst_factor in factors
+    ]
+    rows: List[List[object]] = []
+    for burst_factor, run in zip(factors, get_executor(executor).run(specs)):
         rows.append(
-            [burst_factor, round(lat.mean, 1), round(lat.p99, 1),
-             round(sim.throughput(), 4)]
+            [burst_factor, round(run.summary["latency_mean"], 1),
+             round(run.summary["latency_p99"], 1),
+             round(run.summary["throughput"], 4)]
         )
     return ExperimentResult(
         "Study: burstiness at equal mean load (UN @ 0.025)",
@@ -796,7 +833,9 @@ def study_bursty_traffic(quick: bool = False) -> ExperimentResult:
     )
 
 
-def study_degradation(quick: bool = False) -> ExperimentResult:
+def study_degradation(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
     """Graceful degradation under runtime faults (:mod:`repro.faults`).
 
     Sweeps the interference-burst rate on the 12 wireless data channels
@@ -809,86 +848,66 @@ def study_degradation(quick: bool = False) -> ExperimentResult:
     the zero-fault row is bit-identical to a run without the fault layer,
     so every protocol counter is 0. The death row completes with recovered
     packets and one failover instead of a deadlock.
-    """
-    from repro.core.faults import build_fault_tolerant_own256
-    from repro.core.own256 import make_reconfig_controller
-    from repro.faults import (
-        FaultCampaign,
-        FaultLayer,
-        HealthMonitor,
-        PermanentFault,
-    )
-    from repro.utils.rng import RngStreams
 
+    Each case is a declarative :class:`~repro.runtime.spec.FaultSpec`
+    carried by its :class:`~repro.runtime.spec.RunSpec`, so the whole
+    degradation sweep is cacheable and parallelisable like any other
+    experiment.
+    """
     cycles = 1000 if quick else 2000
     rate = 0.02
+    burst_rates = (0.0, 0.0005, 0.002, 0.005)
+
+    def base_spec(faults: Optional[FaultSpec], with_failover: bool) -> RunSpec:
+        return RunSpec.create(
+            "own256_ft",
+            pattern="UN",
+            rate=rate,
+            cycles=cycles,
+            warmup=200,
+            seed=2,
+            topology_kwargs={"with_reconfiguration": with_failover},
+            drain=30_000,
+            faults=faults,
+            power=((4, 1),),
+        )
+
+    specs = [
+        base_spec(
+            FaultSpec(kind="bursty", seed=7, burst_rate=burst_rate,
+                      burst_duration=50, snr_penalty_db=5.0),
+            with_failover=False,
+        )
+        for burst_rate in burst_rates
+    ]
+    specs.append(
+        base_spec(
+            FaultSpec(kind="death", at=cycles // 4, target_index=0, failover=True),
+            with_failover=True,
+        )
+    )
+    labels = [f"bursts@{r}" for r in burst_rates] + ["death+failover"]
+
     rows: List[List[object]] = []
     notes: Dict[str, object] = {}
-
-    def run_case(label, campaign, with_failover):
-        reset_packet_ids()
-        built = build_fault_tolerant_own256(with_reconfiguration=with_failover)
-        routing = built.notes["routing"]
-        layer = FaultLayer(built.network, campaign=campaign, rng=RngStreams(11))
-        sim = Simulator(
-            built.network,
-            traffic=SyntheticTraffic(256, "UN", rate, 4, seed=2),
-            warmup_cycles=200,
-            faults=layer,
-        )
-        monitor = None
-        if with_failover:
-            ctrl = make_reconfig_controller(built, epoch_cycles=250)
-            sim.add_hook(ctrl)
-            monitor = HealthMonitor(
-                layer, routing=routing, reconfig=ctrl, epoch_cycles=100
-            )
-            sim.add_hook(monitor)
-        sim.run(cycles)
-        sim.drain(30_000)
-        lat = sim.stats.latency_stats()
-        retx = sim.stats.retransmission_summary()
-        power = measure_power(built, sim)
+    runs = get_executor(executor).run(specs)
+    for label, run in zip(labels, runs):
+        s = run.summary
         rows.append(
             [
                 label,
-                round(lat.mean, 1),
-                round(lat.p99, 1),
-                round(sim.stats.throughput_flits_per_core_cycle(cycles), 4),
-                retx["packets_retransmitted"],
-                retx["nacks"] + retx["timeouts"],
-                retx["packets_recovered"],
-                retx["channels_failed_over"],
-                round(power.retx_overhead_w * 1e3, 3),
+                round(s["latency_mean"], 1),
+                round(s["latency_p99"], 1),
+                round(s["throughput"], 4),
+                int(s["packets_retransmitted"]),
+                int(s["nacks"] + s["timeouts"]),
+                int(s["packets_recovered"]),
+                int(s["channels_failed_over"]),
+                round(run.power_for(4, 1)["retx_overhead_w"] * 1e3, 3),
             ]
         )
-        return sim, monitor
-
-    data_links = None
-    for burst_rate in (0.0, 0.0005, 0.002, 0.005):
-        streams = RngStreams(7)
-        if data_links is None:
-            # Names are topology-determined; build once to enumerate them.
-            probe = build_fault_tolerant_own256()
-            data_links = [
-                link.name
-                for link in probe.network.links
-                if link.kind == "wireless"
-                and link.channel_id is not None
-                and link.channel_id <= 12
-            ]
-        campaign = FaultCampaign.bursty(
-            data_links, cycles, streams, burst_rate,
-            burst_duration=50, snr_penalty_db=5.0,
-        )
-        run_case(f"bursts@{burst_rate}", campaign, with_failover=False)
-
-    death = FaultCampaign(
-        [PermanentFault(at=cycles // 4, target=data_links[0])]
-    )
-    _, monitor = run_case("death+failover", death, with_failover=True)
-    notes["failovers"] = monitor.failovers
-    notes["dead_link"] = data_links[0]
+    notes["failovers"] = int(runs[-1].summary["channels_failed_over"])
+    notes["dead_link"] = runs[-1].meta.get("dead_link")
     return ExperimentResult(
         "Study: fault-rate degradation (UN @ 0.02, 5 dB bursts)",
         ["faults", "latency_mean", "latency_p99", "accepted",

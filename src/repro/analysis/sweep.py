@@ -4,17 +4,39 @@ The standard open-loop methodology: for each injection rate run warmup +
 measurement, record mean latency and accepted throughput; the saturation
 point is the largest offered load where latency stays below a multiple of
 the zero-load latency *and* the network still accepts ~the offered load.
+
+All simulation points are submitted to the :mod:`repro.runtime` execution
+engine as :class:`~repro.runtime.spec.RunSpec` values, so sweeps pick up
+parallel workers, result caching and run records from whatever
+:class:`~repro.runtime.executor.Executor` the caller supplies. Topologies
+are referenced by registry key (``"own256"`` or ``("cmesh", {"n_cores":
+256})``); legacy builder *callables* are still accepted and run in-process
+through the same engine when they cannot be expressed as a spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.noc.packet import reset_packet_ids
-from repro.noc.simulator import Simulator
+from repro.runtime import (
+    Executor,
+    RunResult,
+    RunSpec,
+    get_executor,
+    ref_for_callable,
+    resolve_ref,
+)
 from repro.topologies.base import BuiltTopology
-from repro.traffic.generator import SyntheticTraffic
+
+#: How a sweep names its topology: a registry reference or a builder callable.
+BuilderLike = Union[str, Tuple[str, dict], Callable[[], BuiltTopology]]
+
+#: Early-stop rule shared by the serial and parallel paths: a point is
+#: post-saturation when latency blows past 4x zero-load or acceptance
+#: drops below 80 % of offered.
+_STOP_LATENCY_FACTOR = 4.0
+_STOP_ACCEPT_FRACTION = 0.8
 
 
 @dataclass
@@ -62,35 +84,116 @@ class SweepResult:
         return max((p.throughput for p in self.points), default=float("nan"))
 
 
-def run_point(
-    builder: Callable[[], BuiltTopology],
+def point_spec(
+    builder: BuilderLike,
     pattern: str,
     rate: float,
     cycles: int = 1200,
     warmup: int = 400,
     packet_size: int = 4,
     seed: int = 3,
-) -> SweepPoint:
-    """Run one simulation point on a freshly built network."""
-    reset_packet_ids()
+) -> Optional[RunSpec]:
+    """The :class:`RunSpec` for one sweep point (``None`` for opaque callables)."""
+    ref = builder if not callable(builder) else ref_for_callable(builder)
+    if ref is None:
+        return None
+    key, kwargs = resolve_ref(ref)
+    return RunSpec.create(
+        key,
+        pattern=pattern,
+        rate=rate,
+        cycles=cycles,
+        warmup=warmup,
+        packet_size=packet_size,
+        seed=seed,
+        topology_kwargs=kwargs,
+    )
+
+
+def _point_from_result(result: RunResult) -> SweepPoint:
+    return SweepPoint(
+        offered=result.spec.traffic.rate,
+        latency=result.summary["latency_mean"],
+        throughput=result.summary["throughput"],
+        packets=int(result.summary["packets_measured"]),
+    )
+
+
+def _legacy_run_point(
+    builder: Callable[[], BuiltTopology],
+    pattern: str,
+    rate: float,
+    cycles: int,
+    warmup: int,
+    packet_size: int,
+    seed: int,
+) -> Tuple[SweepPoint, str]:
+    """In-process fallback for builders not expressible as specs.
+
+    Shares the engine's isolation (the simulator binds a per-run packet-id
+    allocator) but cannot be cached or parallelised.
+    """
+    from repro.noc.simulator import Simulator
+    from repro.traffic.generator import SyntheticTraffic
+
     built = builder()
-    n = built.n_cores
     sim = Simulator(
         built.network,
-        traffic=SyntheticTraffic(n, pattern, rate, packet_size, seed=seed),
+        traffic=SyntheticTraffic(built.n_cores, pattern, rate, packet_size, seed=seed),
         warmup_cycles=warmup,
     )
     sim.run(cycles)
-    return SweepPoint(
+    point = SweepPoint(
         offered=rate,
         latency=sim.mean_latency(),
         throughput=sim.throughput(),
         packets=sim.stats.measured_packets,
     )
+    return point, built.name
+
+
+def run_point(
+    builder: BuilderLike,
+    pattern: str,
+    rate: float,
+    cycles: int = 1200,
+    warmup: int = 400,
+    packet_size: int = 4,
+    seed: int = 3,
+    executor: Optional[Executor] = None,
+) -> SweepPoint:
+    """Run one simulation point on a freshly built network."""
+    spec = point_spec(builder, pattern, rate, cycles, warmup, packet_size, seed)
+    if spec is None:
+        point, _ = _legacy_run_point(
+            builder, pattern, rate, cycles, warmup, packet_size, seed
+        )
+        return point
+    return _point_from_result(get_executor(executor).run_one(spec))
+
+
+def _is_saturated(point: SweepPoint, zero_latency: float) -> bool:
+    return (
+        point.latency >= _STOP_LATENCY_FACTOR * zero_latency
+        or point.accepted_fraction < _STOP_ACCEPT_FRACTION
+    )
+
+
+def _truncate_at_saturation(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """Apply the early-stop rule post-hoc (keeps parallel == serial)."""
+    kept: List[SweepPoint] = []
+    zero: Optional[float] = None
+    for point in points:
+        kept.append(point)
+        if zero is None:
+            zero = point.latency
+        if _is_saturated(point, zero):
+            break
+    return kept
 
 
 def load_sweep(
-    builder: Callable[[], BuiltTopology],
+    builder: BuilderLike,
     pattern: str,
     rates: Sequence[float],
     cycles: int = 1200,
@@ -99,30 +202,108 @@ def load_sweep(
     seed: int = 3,
     stop_at_saturation: bool = True,
     name: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
-    """Sweep offered load; optionally stop once clearly saturated."""
-    result = SweepResult(name=name or builder().name, pattern=pattern)
-    zero: Optional[float] = None
-    for rate in rates:
-        point = run_point(builder, pattern, rate, cycles, warmup, packet_size, seed)
-        result.points.append(point)
-        if zero is None:
-            zero = point.latency
-        if stop_at_saturation and (
-            point.latency >= 4.0 * zero or point.accepted_fraction < 0.8
-        ):
-            break
-    return result
+    """Sweep offered load; optionally stop once clearly saturated.
+
+    With a parallel or caching executor every rate is submitted up front
+    and the stop rule is applied to the assembled points -- the kept
+    points are identical to a serial early-stopped sweep, the extra
+    post-saturation points are simply discarded (and live on in the cache).
+    """
+    specs = [
+        point_spec(builder, pattern, rate, cycles, warmup, packet_size, seed)
+        for rate in rates
+    ]
+
+    if specs and specs[0] is None:
+        # Opaque callable: serial in-process loop with lazy name resolution
+        # from the first built network (no throwaway build).
+        result = SweepResult(name=name or "", pattern=pattern)
+        zero: Optional[float] = None
+        for rate in rates:
+            point, built_name = _legacy_run_point(
+                builder, pattern, rate, cycles, warmup, packet_size, seed
+            )
+            if not result.name:
+                result.name = name or built_name
+            result.points.append(point)
+            if zero is None:
+                zero = point.latency
+            if stop_at_saturation and _is_saturated(point, zero):
+                break
+        return result
+
+    ex = get_executor(executor)
+    if stop_at_saturation and ex.jobs == 1 and ex.cache is None:
+        # Serial, uncached: keep lazy early stopping (simulate fewer points).
+        result = SweepResult(name=name or "", pattern=pattern)
+        zero = None
+        for spec in specs:
+            run = ex.run_one(spec)
+            if not result.name:
+                result.name = name or str(run.meta.get("network_name", spec.topology))
+            point = _point_from_result(run)
+            result.points.append(point)
+            if zero is None:
+                zero = point.latency
+            if _is_saturated(point, zero):
+                break
+        return result
+
+    runs = ex.run(specs)
+    resolved = name or str(runs[0].meta.get("network_name", specs[0].topology))
+    points = [_point_from_result(run) for run in runs]
+    if stop_at_saturation:
+        points = _truncate_at_saturation(points)
+    return SweepResult(name=resolved, pattern=pattern, points=points)
 
 
 def compare_saturation(
-    builders: Dict[str, Callable[[], BuiltTopology]],
+    builders: Dict[str, BuilderLike],
     pattern: str,
     rates: Sequence[float],
+    executor: Optional[Executor] = None,
     **kwargs,
 ) -> Dict[str, SweepResult]:
-    """Sweep several topologies on the same pattern (Fig. 7b/c data)."""
+    """Sweep several topologies on the same pattern (Fig. 7b/c data).
+
+    With ``executor.jobs > 1`` every (topology, rate) point across all
+    topologies is dispatched as one batch, so the pool stays full even
+    while one topology is deep into saturation.
+    """
+    ex = get_executor(executor)
+    if ex.jobs > 1:
+        kwargs = dict(kwargs, stop_at_saturation=kwargs.get("stop_at_saturation", True))
+        stop = kwargs.pop("stop_at_saturation")
+        spec_kwargs = {
+            k: kwargs[k]
+            for k in ("cycles", "warmup", "packet_size", "seed")
+            if k in kwargs
+        }
+        spec_grid: Dict[str, List[Optional[RunSpec]]] = {
+            name: [point_spec(b, pattern, rate, **spec_kwargs) for rate in rates]
+            for name, b in builders.items()
+        }
+        flat = [s for specs in spec_grid.values() for s in specs if s is not None]
+        if flat:
+            batch = {s.digest(): r for s, r in zip(flat, ex.run(flat))}
+        else:
+            batch = {}
+        out: Dict[str, SweepResult] = {}
+        for name, specs in spec_grid.items():
+            if specs and specs[0] is None:  # opaque callable: serial fallback
+                out[name] = load_sweep(
+                    builders[name], pattern, rates, name=name,
+                    stop_at_saturation=stop, executor=ex, **spec_kwargs,
+                )
+                continue
+            points = [_point_from_result(batch[s.digest()]) for s in specs]
+            if stop:
+                points = _truncate_at_saturation(points)
+            out[name] = SweepResult(name=name, pattern=pattern, points=points)
+        return out
     return {
-        name: load_sweep(builder, pattern, rates, name=name, **kwargs)
+        name: load_sweep(builder, pattern, rates, name=name, executor=ex, **kwargs)
         for name, builder in builders.items()
     }

@@ -39,13 +39,41 @@ class FlitKind(enum.IntEnum):
         return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
 
 
-_packet_ids = itertools.count()
+class PacketIdAllocator:
+    """Instance-scoped packet-id source.
+
+    Every :class:`~repro.noc.simulator.Simulator` owns one and binds it to
+    its traffic process, so concurrent in-process simulations allocate
+    independent, deterministic id sequences (each starting at 0) instead of
+    racing on a process-global counter.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._count = itertools.count(start)
+
+    def next_id(self) -> int:
+        return next(self._count)
+
+    def reset(self, start: int = 0) -> None:
+        self._count = itertools.count(start)
+
+
+#: Fallback allocator for packets created outside any simulator (unit tests,
+#: manual injection). Simulation-driven packets use the simulator's own
+#: allocator via the traffic process.
+_default_allocator = PacketIdAllocator()
 
 
 def reset_packet_ids() -> None:
-    """Reset the global packet-id counter (used by tests for determinism)."""
-    global _packet_ids
-    _packet_ids = itertools.count()
+    """Reset the *default* packet-id counter.
+
+    Only packets created without an explicit allocator draw from the
+    default; simulator-bound traffic uses a per-simulation
+    :class:`PacketIdAllocator` and needs no reset.
+    """
+    _default_allocator.reset()
 
 
 class Packet:
@@ -65,6 +93,9 @@ class Packet:
         Optional integer tag restricting which virtual channels the packet
         may use (deadlock-avoidance classes; see ``repro.core.routing``).
         ``None`` means unrestricted.
+    allocator:
+        :class:`PacketIdAllocator` to draw the packet id from; ``None``
+        falls back to the module-level default allocator.
     """
 
     __slots__ = (
@@ -89,12 +120,13 @@ class Packet:
         size_flits: int,
         t_create: int,
         vc_class: Optional[int] = None,
+        allocator: Optional[PacketIdAllocator] = None,
     ) -> None:
         if size_flits < 1:
             raise ValueError(f"size_flits must be >= 1, got {size_flits}")
         if src_core == dst_core:
             raise ValueError("packet source and destination cores must differ")
-        self.pid: int = next(_packet_ids)
+        self.pid: int = (allocator or _default_allocator).next_id()
         self.src_core = src_core
         self.dst_core = dst_core
         self.size_flits = size_flits

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.noc.links import Endpoint, Link
 from repro.noc.network import Network
-from repro.noc.packet import Flit, Packet
+from repro.noc.packet import Flit, Packet, PacketIdAllocator
 from repro.noc.stats import StatsCollector
 
 
@@ -86,6 +86,13 @@ class Simulator:
         self._hooks: List[Callable[["Simulator"], None]] = []
         self._paused_traffic: Optional[object] = None
         self._faults = faults
+        #: Per-simulation packet-id source. Bound to the traffic process so
+        #: concurrent simulations in one process cannot corrupt each other's
+        #: id sequences (ids always start at 0, matching a fresh
+        #: ``reset_packet_ids()`` call).
+        self.packet_ids = PacketIdAllocator()
+        if traffic is not None and getattr(traffic, "allocator", "absent") is None:
+            traffic.allocator = self.packet_ids
         if not network._finalized:
             network.finalize()
         if faults is not None:

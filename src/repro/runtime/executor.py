@@ -1,0 +1,393 @@
+"""The execution engine: run specs serially or across worker processes.
+
+All simulation-driving code (sweeps, experiments, design-space
+exploration, benchmarks) funnels through :class:`Executor`. One code path
+means one set of guarantees:
+
+- **Isolation** -- every run builds a fresh network and the simulator
+  binds a per-run packet-id allocator, so two runs never share mutable
+  state regardless of interleaving.
+- **Determinism** -- all randomness derives from seeds carried by the
+  spec, so a spec's result is a pure function of its digest. Parallel
+  (``jobs=N``) results are bit-identical to serial ones, and cached
+  results are bit-identical to fresh ones.
+- **Observability** -- each run emits a JSONL record (spec digest, wall
+  time, cycles/sec, summary metrics, cache hit/miss) and an optional
+  progress callback fires as results land.
+
+The multiprocessing backend prefers the ``fork`` start method (workers
+inherit dynamically registered topologies); on platforms without it the
+``spawn`` method is used and only statically registered topologies are
+available to workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.records import RunLog, make_record
+from repro.runtime.registry import build_topology
+from repro.runtime.spec import FaultSpec, RunSpec, TrafficSpec
+
+#: Progress callback signature: (completed, total, result).
+ProgressFn = Callable[[int, int, "RunResult"], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one executed (or cache-served) :class:`RunSpec`."""
+
+    spec: RunSpec
+    digest: str
+    summary: Dict[str, float]
+    power: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    wall_s: float = 0.0
+    cache_hit: bool = False
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serialisable form stored in the result cache."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary,
+            "power": self.power,
+            "meta": self.meta,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, object], cache_hit: bool = False
+    ) -> "RunResult":
+        spec = RunSpec.from_dict(payload["spec"])
+        return cls(
+            spec=spec,
+            digest=spec.digest(),
+            summary=dict(payload.get("summary") or {}),
+            power={k: dict(v) for k, v in (payload.get("power") or {}).items()},
+            meta=dict(payload.get("meta") or {}),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            cache_hit=cache_hit,
+        )
+
+    # Convenience accessors -------------------------------------------- #
+
+    @property
+    def latency(self) -> float:
+        return self.summary["latency_mean"]
+
+    @property
+    def throughput(self) -> float:
+        return self.summary["throughput"]
+
+    def power_for(self, config_id: int, scenario: int) -> Dict[str, float]:
+        return self.power[f"cfg{config_id}_s{scenario}"]
+
+
+# --------------------------------------------------------------------- #
+# Single-run execution
+# --------------------------------------------------------------------- #
+
+
+def _make_traffic(spec: TrafficSpec, n_cores: int, stop_cycle: Optional[int]):
+    if spec.kind == "bursty":
+        from repro.traffic.bursty import BurstyTraffic
+
+        return BurstyTraffic(
+            n_cores,
+            spec.pattern,
+            spec.rate,
+            spec.packet_size,
+            seed=spec.seed,
+            burst_factor=spec.burst_factor,
+            mean_burst_cycles=spec.mean_burst_cycles,
+            stop_cycle=stop_cycle,
+        )
+    from repro.traffic.generator import SyntheticTraffic
+
+    return SyntheticTraffic(
+        n_cores,
+        spec.pattern,
+        spec.rate,
+        spec.packet_size,
+        seed=spec.seed,
+        stop_cycle=stop_cycle,
+    )
+
+
+def _make_faults(spec: RunSpec, built) -> Tuple[Optional[object], List[object], Dict[str, object]]:
+    """Instantiate the fault layer + hooks described by ``spec.faults``."""
+    fs = spec.faults
+    if fs is None:
+        return None, [], {}
+    from repro.faults import FaultCampaign, FaultLayer, HealthMonitor, PermanentFault
+    from repro.utils.rng import RngStreams
+
+    data_links = [
+        link.name
+        for link in built.network.links
+        if link.kind == "wireless"
+        and link.channel_id is not None
+        and link.channel_id <= fs.max_channel
+    ]
+    meta: Dict[str, object] = {}
+    if fs.kind == "bursty":
+        campaign = FaultCampaign.bursty(
+            data_links,
+            spec.cycles,
+            RngStreams(fs.seed),
+            fs.burst_rate,
+            burst_duration=fs.burst_duration,
+            snr_penalty_db=fs.snr_penalty_db,
+        )
+    else:  # "death"
+        target = data_links[fs.target_index]
+        campaign = FaultCampaign([PermanentFault(at=fs.at, target=target)])
+        meta["dead_link"] = target
+    layer = FaultLayer(built.network, campaign=campaign, rng=RngStreams(fs.layer_seed))
+    hooks: List[object] = []
+    if fs.failover:
+        from repro.core.own256 import make_reconfig_controller
+
+        ctrl = make_reconfig_controller(built, epoch_cycles=fs.reconfig_epoch)
+        monitor = HealthMonitor(
+            layer,
+            routing=built.notes["routing"],
+            reconfig=ctrl,
+            epoch_cycles=fs.monitor_epoch,
+        )
+        hooks = [ctrl, monitor]
+    return layer, hooks, meta
+
+
+def _power_metrics(built, sim, config_id: int, scenario: int) -> Dict[str, float]:
+    """Power breakdown plus per-link wireless averages for one config."""
+    from repro.power import PowerModel, SCENARIOS, measure_power
+
+    breakdown = measure_power(built, sim, config_id=config_id, scenario=scenario)
+    out = dict(breakdown.as_dict())
+
+    # Fig. 5's metric: average power of the *active* wireless links.
+    model = PowerModel(config_id=config_id, scenario=SCENARIOS[scenario])
+    duration = model.dsent.cycles_to_seconds(sim.now)
+    wifi_pj = 0.0
+    n_links = 0
+    for link in built.network.links:
+        if link.kind != "wireless" or link.bits_carried == 0:
+            continue
+        e = model.wireless_link_energy_pj_per_bit(link)
+        wifi_pj += link.bits_carried * model.wireless.effective_energy_pj(
+            e, link.multicast_degree
+        )
+        n_links += 1
+    if duration > 0:
+        out["avg_wireless_link_mw"] = wifi_pj * 1e-12 / duration / max(1, n_links) * 1e3
+    else:
+        out["avg_wireless_link_mw"] = 0.0
+    return out
+
+
+def execute_inline(spec: RunSpec):
+    """Run ``spec`` in-process and return ``(built, sim, result)``.
+
+    The escape hatch for experiments that post-process live network
+    objects (thermal maps, router activity heat). Shares the engine's
+    isolation and determinism guarantees but bypasses cache and workers
+    (the objects are not serialisable).
+    """
+    t0 = time.perf_counter()
+    built = build_topology(spec.topology, **dict(spec.topology_kwargs))
+    stop = spec.cycles if spec.drain else None
+    traffic = _make_traffic(spec.traffic, built.n_cores, stop)
+    layer, hooks, fault_meta = _make_faults(spec, built)
+    from repro.noc.simulator import Simulator
+
+    sim = Simulator(
+        built.network,
+        traffic=traffic,
+        warmup_cycles=spec.warmup,
+        faults=layer,
+    )
+    for hook in hooks:
+        sim.add_hook(hook)
+    sim.run(spec.cycles)
+    drained = True
+    if spec.drain:
+        drained = sim.drain(spec.drain)
+
+    summary = dict(sim.stats.summary(spec.cycles))
+    summary.update(
+        {k: float(v) for k, v in sim.stats.retransmission_summary().items()}
+    )
+    summary["drained"] = float(drained)
+    power = {
+        f"cfg{cfg}_s{scen}": _power_metrics(built, sim, cfg, scen)
+        for cfg, scen in spec.power
+    }
+    meta: Dict[str, object] = {
+        "network_name": built.name,
+        "n_cores": built.n_cores,
+        "kind": built.kind,
+    }
+    meta.update(fault_meta)
+    result = RunResult(
+        spec=spec,
+        digest=spec.digest(),
+        summary=summary,
+        power=power,
+        meta=meta,
+        wall_s=time.perf_counter() - t0,
+    )
+    return built, sim, result
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec in-process and return only its (serialisable) result."""
+    _, _, result = execute_inline(spec)
+    return result
+
+
+def _pool_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: spec dict in, result payload out."""
+    result = run_spec(RunSpec.from_dict(payload))
+    return result.to_payload()
+
+
+# --------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------- #
+
+
+class Executor:
+    """Runs batches of specs with optional parallelism, caching and logging.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (default) runs in-process; ``N > 1`` uses a
+        ``multiprocessing`` pool. Results are ordered and bit-identical to
+        a serial run either way.
+    cache:
+        A :class:`~repro.runtime.cache.ResultCache` (or a path, coerced);
+        ``None`` disables caching.
+    runlog:
+        A :class:`~repro.runtime.records.RunLog` (or a path, coerced);
+        ``None`` disables run records.
+    progress:
+        Optional ``(done, total, result)`` callback fired per completion.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Union[ResultCache, str]] = None,
+        runlog: Optional[Union[RunLog, str]] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.cache = cache
+        if isinstance(runlog, (str, bytes)) or hasattr(runlog, "__fspath__"):
+            runlog = RunLog(runlog)
+        self.runlog = runlog
+        self.progress = progress
+        self.runs_executed = 0
+        self.runs_from_cache = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute ``specs``, returning results in input order."""
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[RunResult]] = [None] * total
+        done = 0
+
+        def _finish(i: int, result: RunResult) -> None:
+            nonlocal done
+            results[i] = result
+            done += 1
+            if self.runlog is not None:
+                self.runlog.write(make_record(result))
+            if self.progress is not None:
+                self.progress(done, total, result)
+
+        # Serve cache hits first (and dedupe identical pending specs).
+        pending: List[int] = []
+        digests = [spec.digest() for spec in specs]
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                payload = self.cache.get(digests[i])
+                if payload is not None:
+                    result = RunResult.from_payload(payload, cache_hit=True)
+                    result.wall_s = time.perf_counter() - t0
+                    self.runs_from_cache += 1
+                    _finish(i, result)
+                    continue
+            pending.append(i)
+
+        first_by_digest: Dict[str, int] = {}
+        unique: List[int] = []
+        for i in pending:
+            if digests[i] in first_by_digest:
+                continue
+            first_by_digest[digests[i]] = i
+            unique.append(i)
+
+        if self.jobs > 1 and len(unique) > 1:
+            computed = self._run_pool([specs[i] for i in unique])
+        else:
+            computed = [run_spec(specs[i]) for i in unique]
+
+        by_digest = {digests[i]: r for i, r in zip(unique, computed)}
+        for i in pending:
+            result = by_digest[digests[i]]
+            if i != first_by_digest[digests[i]]:
+                result = RunResult.from_payload(result.to_payload())
+                result.wall_s = 0.0
+            if self.cache is not None and i == first_by_digest[digests[i]]:
+                self.cache.put(digests[i], result.to_payload())
+            self.runs_executed += 1
+            _finish(i, result)
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context("spawn")
+        payloads = [spec.to_dict() for spec in specs]
+        jobs = min(self.jobs, len(payloads))
+        with ctx.Pool(processes=jobs) as pool:
+            outputs = pool.map(_pool_worker, payloads)
+        return [RunResult.from_payload(p) for p in outputs]
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "jobs": self.jobs,
+            "runs_executed": self.runs_executed,
+            "runs_from_cache": self.runs_from_cache,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+
+#: Module-level serial executor used as the default substrate when a call
+#: site does not supply one (no cache, no log, in-process).
+DEFAULT_EXECUTOR = Executor(jobs=1)
+
+
+def get_executor(executor: Optional[Executor]) -> Executor:
+    return executor if executor is not None else DEFAULT_EXECUTOR

@@ -1,0 +1,79 @@
+"""Structured run records: one JSONL line per executed simulation.
+
+Every run the executor performs (or serves from cache) appends a record
+with the spec digest, wall time, simulation speed and summary metrics.
+The log is the observability surface for long sweeps -- greppable,
+streamable, and machine-readable for regression dashboards. Schema::
+
+    {
+      "ts": 1730000000.0,          # unix time the run finished
+      "digest": "ab12...",         # RunSpec content address
+      "label": "own256/UN@0.03x1200",
+      "topology": "own256",
+      "pattern": "UN", "rate": 0.03,
+      "cycles": 1200, "warmup": 400,
+      "cache_hit": false,
+      "wall_s": 2.31,              # build + simulate + measure
+      "cycles_per_sec": 519.5,     # simulated cycles per wall second
+      "summary": {...},            # StatsCollector.summary() + protocol counters
+      "meta": {...}                # network name, core count, ...
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+class RunLog:
+    """Append-only JSONL writer for run records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.records_written = 0
+
+    def write(self, record: Dict[str, object]) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self.records_written += 1
+
+
+def make_record(result: "RunResult") -> Dict[str, object]:  # noqa: F821
+    """Build the JSONL record for one executor result."""
+    spec = result.spec
+    wall = result.wall_s
+    return {
+        "ts": time.time(),
+        "digest": result.digest,
+        "label": spec.label(),
+        "topology": spec.topology,
+        "pattern": spec.traffic.pattern,
+        "rate": spec.traffic.rate,
+        "cycles": spec.cycles,
+        "warmup": spec.warmup,
+        "cache_hit": result.cache_hit,
+        "wall_s": round(wall, 4),
+        "cycles_per_sec": round(spec.cycles / wall, 1) if wall > 0 else None,
+        "summary": result.summary,
+        "meta": result.meta,
+    }
+
+
+def read_runlog(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL run log (skipping any malformed lines)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+    return records

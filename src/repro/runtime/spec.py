@@ -1,0 +1,265 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is a frozen, hashable value object that *fully
+determines* one simulation: which topology to build (registry key +
+builder kwargs), what traffic to offer (pattern / rate / seed), how long
+to run (cycles / warmup / drain), and which fault campaign (if any) to
+inject. Because a spec is pure data, it can be
+
+- **digested** into a content address (:meth:`RunSpec.digest`) for the
+  on-disk result cache,
+- **pickled** across process boundaries for the multiprocessing executor,
+- **serialised** to JSON for run records and later re-execution.
+
+The digest also folds in a fingerprint of the ``repro`` source tree, so
+editing any simulator code invalidates every cached result (conservative
+but safe: stale physics never leaks out of the cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Bumped when the result payload layout changes (invalidates the cache
+#: even if no source file changed).
+SCHEMA_VERSION = 1
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of every ``.py`` file in the installed ``repro`` package.
+
+    Computed once per process. ``REPRO_CODE_VERSION`` overrides it (useful
+    in CI to share a cache across checkouts known to be equivalent).
+    """
+    global _code_fingerprint
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _code_fingerprint is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                h.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _code_fingerprint = h.hexdigest()[:16]
+    return _code_fingerprint
+
+
+def freeze_kwargs(kwargs: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
+    """Normalise builder kwargs into a sorted, hashable tuple of pairs.
+
+    Lists become tuples (recursively) so the result is hashable; insertion
+    order is irrelevant to the digest.
+    """
+
+    def _freeze(v: object) -> object:
+        if isinstance(v, (list, tuple)):
+            return tuple(_freeze(x) for x in v)
+        if isinstance(v, dict):
+            return tuple(sorted((str(k), _freeze(x)) for k, x in v.items()))
+        return v
+
+    if not kwargs:
+        return ()
+    return tuple(sorted((str(k), _freeze(v)) for k, v in dict(kwargs).items()))
+
+
+def _thaw(value: object) -> object:
+    """JSON round-trip turns tuples into lists; re-freeze on load."""
+    if isinstance(value, list):
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Open-loop traffic fully described by value.
+
+    ``kind`` selects the generator class: ``"synthetic"`` (Bernoulli,
+    :class:`~repro.traffic.generator.SyntheticTraffic`) or ``"bursty"``
+    (Markov-modulated, :class:`~repro.traffic.bursty.BurstyTraffic`).
+    """
+
+    pattern: str = "UN"
+    rate: float = 0.01
+    packet_size: int = 4
+    seed: int = 1
+    kind: str = "synthetic"
+    burst_factor: float = 1.0
+    mean_burst_cycles: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "bursty"):
+            raise ValueError(f"unknown traffic kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A deterministic fault campaign, by value.
+
+    ``kind="bursty"`` draws transient interference bursts on the wireless
+    data channels (channel index <= ``max_channel``) from a dedicated RNG
+    stream seeded with ``seed``; ``kind="death"`` kills the
+    ``target_index``-th data channel permanently at cycle ``at``.
+    ``failover`` additionally wires the reconfiguration controller and
+    health monitor so dead channels fail over onto pinned spares (requires
+    a fault-tolerant topology, e.g. ``own256_ft``).
+    """
+
+    kind: str = "bursty"
+    seed: int = 7
+    layer_seed: int = 11
+    burst_rate: float = 0.0
+    burst_duration: int = 50
+    snr_penalty_db: float = 5.0
+    at: int = 0
+    target_index: int = 0
+    max_channel: int = 12
+    failover: bool = False
+    reconfig_epoch: int = 250
+    monitor_epoch: int = 100
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bursty", "death"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation point.
+
+    Parameters
+    ----------
+    topology:
+        Key into :mod:`repro.runtime.registry` (e.g. ``"own256"``,
+        ``"cmesh"``).
+    topology_kwargs:
+        Frozen builder kwargs (use :meth:`RunSpec.create` to pass a dict).
+    traffic:
+        The offered-load description.
+    cycles, warmup:
+        Measurement window (warmup packets excluded from statistics).
+    drain:
+        If > 0, pause traffic after ``cycles`` and run up to ``drain``
+        extra cycles until the network empties (exactly-once studies).
+    faults:
+        Optional fault campaign.
+    power:
+        ``(config_id, scenario)`` pairs to measure with the power model
+        after the run; results land in ``RunResult.power`` keyed
+        ``"cfg{c}_s{s}"``.
+    """
+
+    topology: str
+    cycles: int
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    topology_kwargs: Tuple[Tuple[str, object], ...] = ()
+    warmup: int = 0
+    drain: int = 0
+    faults: Optional[FaultSpec] = None
+    power: Tuple[Tuple[int, int], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        topology: str,
+        pattern: str = "UN",
+        rate: float = 0.01,
+        cycles: int = 1200,
+        warmup: int = 0,
+        packet_size: int = 4,
+        seed: int = 1,
+        topology_kwargs: Optional[Mapping[str, object]] = None,
+        traffic_kind: str = "synthetic",
+        burst_factor: float = 1.0,
+        mean_burst_cycles: float = 20.0,
+        drain: int = 0,
+        faults: Optional[FaultSpec] = None,
+        power: Tuple[Tuple[int, int], ...] = (),
+    ) -> "RunSpec":
+        """Ergonomic constructor taking plain dicts/kwargs."""
+        return cls(
+            topology=topology,
+            topology_kwargs=freeze_kwargs(topology_kwargs),
+            traffic=TrafficSpec(
+                pattern=pattern,
+                rate=rate,
+                packet_size=packet_size,
+                seed=seed,
+                kind=traffic_kind,
+                burst_factor=burst_factor,
+                mean_burst_cycles=mean_burst_cycles,
+            ),
+            cycles=cycles,
+            warmup=warmup,
+            drain=drain,
+            faults=faults,
+            power=tuple((int(c), int(s)) for c, s in power),
+        )
+
+    def with_(self, **changes) -> "RunSpec":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        if "topology_kwargs" in changes:
+            changes["topology_kwargs"] = freeze_kwargs(changes["topology_kwargs"])
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation + content addressing
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["topology_kwargs"] = [list(pair) for pair in self.topology_kwargs]
+        d["power"] = [list(pair) for pair in self.power]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "RunSpec":
+        traffic = TrafficSpec(**d["traffic"])
+        faults = FaultSpec(**d["faults"]) if d.get("faults") else None
+        kwargs = tuple(
+            (str(k), _thaw(v)) for k, v in (d.get("topology_kwargs") or ())
+        )
+        power = tuple((int(c), int(s)) for c, s in (d.get("power") or ()))
+        return cls(
+            topology=str(d["topology"]),
+            topology_kwargs=kwargs,
+            traffic=traffic,
+            cycles=int(d["cycles"]),
+            warmup=int(d.get("warmup", 0)),
+            drain=int(d.get("drain", 0)),
+            faults=faults,
+            power=power,
+        )
+
+    def canonical_json(self) -> str:
+        """Stable JSON encoding used for the digest."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Content address: spec + code fingerprint + schema version."""
+        h = hashlib.sha256()
+        h.update(self.canonical_json().encode())
+        h.update(f"|code={code_fingerprint()}|schema={SCHEMA_VERSION}".encode())
+        return h.hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines and records."""
+        return (
+            f"{self.topology}/{self.traffic.pattern}"
+            f"@{self.traffic.rate:g}x{self.cycles}"
+        )

@@ -90,6 +90,7 @@ class BurstyTraffic:
         # Start each source in its stationary state.
         self._on = self._rng.random(n_cores) < duty
         self.packets_generated = 0
+        self.allocator = None
 
     def tick(self, now: int) -> List[Packet]:
         if self.stop_cycle is not None and now >= self.stop_cycle:
@@ -107,7 +108,8 @@ class BurstyTraffic:
             return []
         dsts = self.pattern.destinations(sources, rng)
         packets = [
-            Packet(int(s), int(d), self.packet_size_flits, now)
+            Packet(int(s), int(d), self.packet_size_flits, now,
+                   allocator=self.allocator)
             for s, d in zip(sources, dsts)
             if s != d
         ]
@@ -162,6 +164,7 @@ class ApplicationTraffic:
             homes[core] = np.where(candidates >= core, candidates + 1, candidates)
         self._homes = homes
         self.packets_generated = 0
+        self.allocator = None
 
     def tick(self, now: int) -> List[Packet]:
         if self.stop_cycle is not None and now >= self.stop_cycle:
@@ -176,7 +179,8 @@ class ApplicationTraffic:
         uniform = rng.integers(0, self.n_cores, size=sources.size)
         dsts = np.where(use_home, self._homes[sources, home_pick], uniform)
         packets = [
-            Packet(int(s), int(d), self.packet_size_flits, now)
+            Packet(int(s), int(d), self.packet_size_flits, now,
+                   allocator=self.allocator)
             for s, d in zip(sources, dsts)
             if s != d
         ]

@@ -68,6 +68,9 @@ class SyntheticTraffic:
         self._p_start = injection_rate / packet_size_flits
         self._rng = RngStreams(seed).get("traffic", pattern.name)
         self.packets_generated = 0
+        #: Packet-id source; the simulator binds its own per-run allocator
+        #: here (see :class:`repro.noc.packet.PacketIdAllocator`).
+        self.allocator = None
 
     def tick(self, now: int) -> List[Packet]:
         """Packets created at cycle ``now``."""
@@ -84,7 +87,9 @@ class SyntheticTraffic:
         for src, dst in zip(sources.tolist(), dsts.tolist()):
             if src == dst:
                 continue  # permutation fixed points / uniform self-draws
-            packets.append(Packet(src, dst, self.packet_size_flits, now))
+            packets.append(
+                Packet(src, dst, self.packet_size_flits, now, allocator=self.allocator)
+            )
         self.packets_generated += len(packets)
         return packets
 
@@ -107,12 +112,16 @@ class ScriptedTraffic:
         for (cycle, src, dst, size) in schedule:
             self._by_cycle.setdefault(int(cycle), []).append((int(src), int(dst), int(size)))
         self.packets_generated = 0
+        self.allocator = None
 
     def tick(self, now: int) -> List[Packet]:
         entries = self._by_cycle.pop(now, None)
         if not entries:
             return []
-        packets = [Packet(src, dst, size, now) for (src, dst, size) in entries]
+        packets = [
+            Packet(src, dst, size, now, allocator=self.allocator)
+            for (src, dst, size) in entries
+        ]
         self.packets_generated += len(packets)
         return packets
 

@@ -80,6 +80,7 @@ class TraceTraffic:
         self.trace = trace
         self._pos = 0
         self.packets_generated = 0
+        self.allocator = None
 
     def tick(self, now: int) -> List[Packet]:
         out: List[Packet] = []
@@ -93,6 +94,7 @@ class TraceTraffic:
                     int(self.trace.dsts[i]),
                     int(self.trace.sizes[i]),
                     now,
+                    allocator=self.allocator,
                 )
             )
             self._pos += 1

@@ -1,0 +1,41 @@
+"""Content-addressed result cache behaviour."""
+
+from repro.runtime import ResultCache
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get(DIGEST) is None
+        cache.put(DIGEST, {"summary": {"latency_mean": 12.5}})
+        assert cache.get(DIGEST) == {"summary": {"latency_mean": 12.5}}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_two_level_fanout(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(DIGEST, {})
+        cache.put(OTHER, {})
+        assert (tmp_path / "c" / "ab" / f"{DIGEST}.json").exists()
+        assert (tmp_path / "c" / "cd" / f"{OTHER}.json").exists()
+        assert len(cache) == 2
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(DIGEST, {"ok": True})
+        path = tmp_path / "c" / "ab" / f"{DIGEST}.json"
+        path.write_text('{"truncat')
+        assert cache.get(DIGEST) is None
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(DIGEST, {"ok": True})
+        assert not list((tmp_path / "c").glob("**/*.tmp"))
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.get(DIGEST)
+        assert cache.stats() == {"hits": 0, "misses": 1, "hit_rate": 0.0}

@@ -1,0 +1,112 @@
+"""Executor determinism: serial == parallel == cached, run isolation."""
+
+import pytest
+
+from repro.runtime import Executor, RunSpec, execute_inline, run_spec
+
+
+def spec(rate: float = 0.02, **over) -> RunSpec:
+    kwargs = dict(
+        pattern="UN", rate=rate, cycles=300, warmup=100, seed=5,
+        topology_kwargs={"n_cores": 64},
+    )
+    kwargs.update(over)
+    return RunSpec.create("cmesh", **kwargs)
+
+
+SPECS = [spec(0.01), spec(0.02), spec(0.03)]
+
+
+class TestDeterminism:
+    def test_serial_rerun_bit_identical(self):
+        assert run_spec(SPECS[1]).summary == run_spec(SPECS[1]).summary
+
+    def test_parallel_matches_serial(self):
+        serial = Executor(jobs=1).run(SPECS)
+        parallel = Executor(jobs=4).run(SPECS)
+        assert [r.summary for r in parallel] == [r.summary for r in serial]
+        assert [r.digest for r in parallel] == [r.digest for r in serial]
+
+    def test_cached_matches_fresh(self, tmp_path):
+        fresh = Executor(jobs=1).run(SPECS)
+        warm = Executor(jobs=1, cache=str(tmp_path / "c"))
+        first = warm.run(SPECS)
+        second = warm.run(SPECS)
+        assert [r.summary for r in first] == [r.summary for r in fresh]
+        assert [r.summary for r in second] == [r.summary for r in fresh]
+        assert not any(r.cache_hit for r in first)
+        assert all(r.cache_hit for r in second)
+        assert warm.runs_executed == 3 and warm.runs_from_cache == 3
+
+    def test_interleaving_does_not_perturb_results(self):
+        # A run's result is a pure function of its spec: simulating other
+        # specs in between must not shift packet ids or RNG state.
+        alone = run_spec(SPECS[2]).summary
+        ex = Executor(jobs=1)
+        ex.run([SPECS[0], SPECS[2], SPECS[1], SPECS[2]])
+        assert ex.run_one(SPECS[2]).summary == alone
+
+
+class TestExecutorMechanics:
+    def test_order_preserved(self):
+        runs = Executor(jobs=1).run(SPECS)
+        assert [r.spec.traffic.rate for r in runs] == [0.01, 0.02, 0.03]
+
+    def test_duplicate_specs_simulated_once(self):
+        ex = Executor(jobs=1)
+        a, b = ex.run([SPECS[0], SPECS[0]])
+        assert a.summary == b.summary
+        # Both results count, but the second is served from the first.
+        assert b.wall_s == 0.0
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+    def test_progress_and_runlog(self, tmp_path):
+        from repro.runtime import read_runlog
+
+        seen = []
+        ex = Executor(
+            jobs=1,
+            runlog=str(tmp_path / "runs.jsonl"),
+            progress=lambda done, total, r: seen.append((done, total)),
+        )
+        ex.run(SPECS)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        records = read_runlog(tmp_path / "runs.jsonl")
+        assert [r["rate"] for r in records] == [0.01, 0.02, 0.03]
+        assert all(not r["cache_hit"] for r in records)
+
+    def test_power_pairs_measured(self):
+        run = Executor(jobs=1).run_one(
+            RunSpec.create(
+                "own256", rate=0.02, cycles=300, warmup=100, seed=5,
+                power=((4, 1), (1, 2)),
+            )
+        )
+        for key in ("cfg4_s1", "cfg1_s2"):
+            assert run.power[key]["total_w"] > 0
+            assert "avg_wireless_link_mw" in run.power[key]
+        assert run.power_for(4, 1) is run.power["cfg4_s1"]
+
+    def test_unknown_topology_key(self):
+        with pytest.raises(KeyError):
+            run_spec(RunSpec.create("eschernet", cycles=10))
+
+
+class TestRunIsolation:
+    def test_simulators_get_private_packet_ids(self):
+        # Two live simulators interleaved in one process must each count
+        # packet ids from zero (no shared global allocator).
+        built_a, sim_a, _ = execute_inline(spec(0.02))
+        built_b, sim_b, _ = execute_inline(spec(0.02, seed=9))
+        assert sim_a.packet_ids is not sim_b.packet_ids
+        # Each allocator handed out its own 0..n-1 range: the *next* id it
+        # would issue equals the number of packets that run generated.
+        assert sim_a.packet_ids.next_id() == sim_a.traffic.packets_generated
+        assert sim_b.packet_ids.next_id() == sim_b.traffic.packets_generated
+
+    def test_inline_matches_engine(self):
+        _, _, inline_result = execute_inline(SPECS[1])
+        assert inline_result.summary == run_spec(SPECS[1]).summary

@@ -1,0 +1,58 @@
+"""JSONL run records: schema, append semantics, tolerant reading."""
+
+from repro.runtime import RunLog, RunResult, RunSpec, make_record, read_runlog
+
+
+def _result() -> RunResult:
+    spec = RunSpec.create("cmesh", rate=0.02, cycles=300, warmup=100,
+                          topology_kwargs={"n_cores": 64})
+    return RunResult(
+        spec=spec,
+        digest=spec.digest(),
+        summary={"latency_mean": 21.0, "throughput": 0.019},
+        meta={"network_name": "cmesh64"},
+        wall_s=1.5,
+    )
+
+
+class TestMakeRecord:
+    def test_fields(self):
+        rec = make_record(_result())
+        assert rec["topology"] == "cmesh"
+        assert rec["pattern"] == "UN" and rec["rate"] == 0.02
+        assert rec["cycles"] == 300 and rec["warmup"] == 100
+        assert rec["cache_hit"] is False
+        assert rec["wall_s"] == 1.5
+        assert rec["cycles_per_sec"] == 200.0
+        assert rec["summary"]["latency_mean"] == 21.0
+        assert rec["label"] == "cmesh/UN@0.02x300"
+        assert rec["digest"] == _result().digest
+
+    def test_zero_wall_time_has_no_speed(self):
+        result = _result()
+        result.wall_s = 0.0
+        assert make_record(result)["cycles_per_sec"] is None
+
+
+class TestRunLog:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        log = RunLog(path)
+        log.write(make_record(_result()))
+        log.write(make_record(_result()))
+        assert log.records_written == 2
+        records = read_runlog(path)
+        assert len(records) == 2
+        assert records[0]["topology"] == "cmesh"
+
+    def test_makes_parent_dirs(self, tmp_path):
+        log = RunLog(tmp_path / "deep" / "er" / "runs.jsonl")
+        log.write({"ok": 1})
+        assert read_runlog(log.path) == [{"ok": 1}]
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        RunLog(path).write({"ok": 1})
+        with open(path, "a") as fh:
+            fh.write("not json\n\n")
+        assert read_runlog(path) == [{"ok": 1}]

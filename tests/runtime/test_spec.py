@@ -1,0 +1,117 @@
+"""RunSpec value semantics: freezing, serialisation, content addressing."""
+
+import pytest
+
+from repro.runtime import (
+    SCHEMA_VERSION,
+    FaultSpec,
+    RunSpec,
+    TrafficSpec,
+    code_fingerprint,
+    freeze_kwargs,
+)
+
+
+class TestFreezeKwargs:
+    def test_empty(self):
+        assert freeze_kwargs(None) == ()
+        assert freeze_kwargs({}) == ()
+
+    def test_sorted_and_hashable(self):
+        a = freeze_kwargs({"b": 2, "a": 1})
+        b = freeze_kwargs({"a": 1, "b": 2})
+        assert a == b == (("a", 1), ("b", 2))
+        hash(a)
+
+    def test_recursive_lists_become_tuples(self):
+        frozen = freeze_kwargs({"failed": [[0, 1], [2, 3]]})
+        assert frozen == (("failed", ((0, 1), (2, 3))),)
+        hash(frozen)
+
+    def test_nested_dicts(self):
+        frozen = freeze_kwargs({"cfg": {"y": [1], "x": 2}})
+        assert frozen == (("cfg", (("x", 2), ("y", (1,)))),)
+
+
+class TestSpecValidation:
+    def test_traffic_kind_checked(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="telepathic")
+
+    def test_fault_kind_checked(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="gremlins")
+
+
+class TestDigest:
+    def make(self, **over):
+        kwargs = dict(
+            pattern="UN", rate=0.02, cycles=300, warmup=100, seed=5,
+            topology_kwargs={"n_cores": 64},
+        )
+        kwargs.update(over)
+        return RunSpec.create("cmesh", **kwargs)
+
+    def test_equal_specs_equal_digests(self):
+        assert self.make() == self.make()
+        assert self.make().digest() == self.make().digest()
+
+    def test_kwargs_order_irrelevant(self):
+        a = RunSpec.create("own256", topology_kwargs={"vc_depth": 4, "wireless_cycles_per_flit": 2})
+        b = RunSpec.create("own256", topology_kwargs={"wireless_cycles_per_flit": 2, "vc_depth": 4})
+        assert a == b and a.digest() == b.digest()
+
+    def test_any_field_changes_digest(self):
+        base = self.make().digest()
+        assert self.make(rate=0.03).digest() != base
+        assert self.make(seed=6).digest() != base
+        assert self.make(cycles=301).digest() != base
+        assert self.make(topology_kwargs={"n_cores": 256}).digest() != base
+        assert self.make(faults=FaultSpec()).digest() != base
+        assert self.make(power=((4, 1),)).digest() != base
+
+    def test_code_version_folds_into_digest(self, monkeypatch):
+        base = self.make().digest()
+        monkeypatch.setenv("REPRO_CODE_VERSION", "someotherversion")
+        assert code_fingerprint() == "someotherversion"
+        assert self.make().digest() != base
+
+    def test_schema_version_is_one(self):
+        # Bumping SCHEMA_VERSION invalidates every cache: make it deliberate.
+        assert SCHEMA_VERSION == 1
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        spec = RunSpec.create(
+            "own256_ft",
+            pattern="HS",
+            rate=0.02,
+            cycles=500,
+            warmup=200,
+            seed=2,
+            topology_kwargs={"failed_channels": ((0, 1), (2, 3))},
+            drain=1000,
+            faults=FaultSpec(kind="death", at=125, failover=True),
+            power=((4, 1), (1, 2)),
+        )
+        back = RunSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.digest() == spec.digest()
+
+    def test_json_roundtrip_via_canonical(self):
+        import json
+
+        spec = RunSpec.create("cmesh", topology_kwargs={"n_cores": 64})
+        back = RunSpec.from_dict(json.loads(spec.canonical_json()))
+        assert back == spec and back.digest() == spec.digest()
+
+    def test_with_refreezes_kwargs(self):
+        spec = RunSpec.create("own256")
+        varied = spec.with_(topology_kwargs={"vc_depth": 4})
+        assert varied.topology_kwargs == (("vc_depth", 4),)
+        assert varied.digest() != spec.digest()
+
+    def test_label(self):
+        spec = RunSpec.create("own256", pattern="BC", rate=0.035, cycles=1200)
+        assert spec.label() == "own256/BC@0.035x1200"

@@ -71,3 +71,48 @@ class TestSweep:
         assert rc == 0
         out = capsys.readouterr().out
         assert "saturation offered load" in out
+
+
+class TestEngineFlags:
+    ARGS = [
+        "sweep", "cmesh256", "--rates", "0.01,0.02", "--cycles", "200",
+        "--warmup", "50",
+    ]
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "engine: 2 simulated, 0 from cache" in first.err
+
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "engine: 0 simulated, 2 from cache (hit rate 100%)" in second.err
+        assert second.out == first.out
+
+    def test_runlog_written(self, tmp_path, capsys):
+        from repro.runtime import read_runlog
+
+        log = tmp_path / "runs.jsonl"
+        assert main(self.ARGS + ["--runlog", str(log)]) == 0
+        capsys.readouterr()
+        records = read_runlog(log)
+        assert [r["rate"] for r in records] == [0.01, 0.02]
+        assert all(r["topology"] == "cmesh" for r in records)
+
+    def test_experiments_accept_engine_flags(self, tmp_path, capsys):
+        rc = main([
+            "experiments", "--only", "fig5", "--quick",
+            "--cache", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[fig5]" in captured.out
+        assert "engine: 1 simulated, 0 from cache" in captured.err
