@@ -53,11 +53,31 @@ def add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--runlog", default=None, metavar="PATH",
         help="append one JSONL run record per simulation point to PATH",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-channel-class telemetry metrics into run results "
+             "(and --runlog records)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record cycle-level events and export one Chrome trace_event "
+             "JSON per simulation point (implies --metrics; see --trace-out)",
+    )
+    parser.add_argument(
+        "--trace-out", default="traces", metavar="DIR",
+        help="directory for Chrome trace files (default: traces/)",
+    )
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
     """Build an engine executor from CLI flags (``None`` if all defaults)."""
-    if args.jobs == 1 and args.cache is None and args.runlog is None:
+    if (
+        args.jobs == 1
+        and args.cache is None
+        and args.runlog is None
+        and not args.metrics
+        and not args.trace
+    ):
         return None
 
     def _progress(done: int, total: int, result) -> None:
@@ -65,7 +85,12 @@ def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
         print(f"  [{done}/{total}] {result.spec.label()} ({tag})", file=sys.stderr)
 
     return Executor(
-        jobs=args.jobs, cache=args.cache, runlog=args.runlog, progress=_progress
+        jobs=args.jobs,
+        cache=args.cache,
+        runlog=args.runlog,
+        progress=_progress,
+        telemetry=args.metrics,
+        trace_dir=args.trace_out if args.trace else None,
     )
 
 

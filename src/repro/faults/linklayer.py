@@ -172,6 +172,7 @@ class FaultLayer:
         self.config = config or LinkLayerConfig()
         self.rng = rng or RngStreams(0)
         self.sim: Optional["Simulator"] = None
+        self._tracer = None  # set at install() from the simulator
         self._flit_bits = network.flit_width_bits
 
         #: Protected links and their health state (also set as link.fault).
@@ -202,6 +203,7 @@ class FaultLayer:
     def install(self, sim: "Simulator") -> None:
         """Attach to a simulator (called by ``Simulator.__init__``)."""
         self.sim = sim
+        self._tracer = sim._tracer
         cfg = self.config
         for link in self.protected:
             rtt = link.latency + cfg.ack_latency
@@ -276,6 +278,8 @@ class FaultLayer:
         """
         endpoint.return_credit(vc)
         self.sim.stats.flits_dropped += 1
+        if self._tracer is not None:
+            self._tracer.on_flit_dropped(endpoint, flit, now)
 
     # ------------------------------------------------------------------ #
     # ACK/NACK arrivals (delegated from the simulator's event loop)
@@ -313,6 +317,8 @@ class FaultLayer:
         job = _RetxJob(packet, attempts, now + self._backoff(attempts))
         self._retx.setdefault(link, deque()).append(job)
         self._active.add(link)
+        if self._tracer is not None:
+            self._tracer.on_retx_queued(link, packet, now)
 
     # ------------------------------------------------------------------ #
     # Per-cycle phase (between medium arbitration and switch allocation)
@@ -455,6 +461,12 @@ class FaultLayer:
                 self._attempt_no[(id(link), packet.pid)] = tx.attempts
                 self.sim.stats.packets_retransmitted += 1
                 link.fault.retransmissions += 1
+                if self._tracer is not None:
+                    self._tracer.on_retx_start(link, packet, tx.attempts, now)
+                    if link.medium is not None:
+                        self._tracer.on_medium_request(
+                            link.medium, link, packet, now
+                        )
                 return tx
         return None
 
@@ -534,6 +546,8 @@ class FaultLayer:
         """
         state = link.fault
         state.failed_over = True
+        if self._tracer is not None:
+            self._tracer.on_failover(link, now)
         queue = self._retx.pop(link, None)
         if queue:
             for job in queue:

@@ -236,18 +236,20 @@ class SharedMedium:
         """``link`` no longer has packets waiting (its last tail departed)."""
         self.requesters.discard(link)
 
-    def try_grant(self, now: int) -> None:
+    def try_grant(self, now: int) -> Optional["Link"]:
         """Hand the free token to the next requesting member (round-robin).
 
         Called once per cycle by the simulator *before* switch allocation.
         The grant is made on buffered-and-VC-allocated packets; a holder that
         is momentarily out of downstream credits simply transmits when
         credits return (it keeps the token, exactly like a real token hold).
+        Returns the granted link (telemetry consumes it), ``None`` when no
+        grant was issued.
         """
         if self.holder is not None or not self.requesters:
-            return
+            return None
         if now < self.blocked_until:
-            return  # token lost; awaiting regeneration
+            return None  # token lost; awaiting regeneration
         n = len(self.members)
         best_link = None
         best_dist = n
@@ -261,6 +263,7 @@ class SharedMedium:
         self.grant_at = now + self.arb_latency
         self.grants += 1
         self.token_wait_cycles += self.arb_latency
+        return best_link
 
     def arbitrate(self, now: int, requesting: Sequence[bool]) -> None:
         """Array-based grant (legacy interface kept for unit tests)."""

@@ -82,6 +82,7 @@ class Router:
         "xbar_traversals",
         "vca_grants",
         "sa_grants",
+        "tracer",
     )
 
     def __init__(
@@ -110,6 +111,8 @@ class Router:
         self.xbar_traversals = 0
         self.vca_grants = 0
         self.sa_grants = 0
+        # Telemetry sink (repro.telemetry.Tracer); None on untraced runs.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # Construction API (used by Network builders)
@@ -220,6 +223,8 @@ class Router:
                     if medium is not None:
                         link.pending_requests += 1
                         medium.note_request(link)
+                        if self.tracer is not None:
+                            self.tracer.on_medium_request(medium, link, packet, now)
                     break
 
     def wants_link(self, link: Link, now: int) -> bool:
@@ -252,6 +257,7 @@ class Router:
             return 0
 
         # --- input-port arbitration: one candidate VC per input port ---- #
+        tracer = self.tracer
         port_winner: Dict[int, VirtualChannel] = {}
         ports_seen: Set[int] = set()
         for (ip, _iv) in self._occupied:
@@ -262,14 +268,20 @@ class Router:
             any_req = False
             for iv in range(self.num_vcs):
                 vc = port.vcs[iv]
-                if (
-                    vc.state is VCState.ACTIVE
-                    and vc.queue
-                    and vc.endpoint.has_credit(vc.out_vc)
-                    and self.out_links[vc.out_port].ready(now)
-                ):
-                    requests[iv] = True
-                    any_req = True
+                if vc.state is not VCState.ACTIVE or not vc.queue:
+                    continue
+                if not vc.endpoint.has_credit(vc.out_vc):
+                    if tracer is not None:
+                        tracer.on_vc_stall(self, port.kind, "credit", now)
+                    continue
+                link = self.out_links[vc.out_port]
+                if not link.ready(now):
+                    if tracer is not None:
+                        reason = "token" if link.needs_grant(now) else "link"
+                        tracer.on_vc_stall(self, port.kind, reason, now)
+                    continue
+                requests[iv] = True
+                any_req = True
             if any_req:
                 win = self._in_arbs[ip].grant(requests)
                 if win is not None:

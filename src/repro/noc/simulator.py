@@ -61,6 +61,11 @@ class Simulator:
         phase between medium arbitration and switch allocation, and
         ACK/NACK events are delegated to it from the event loop. ``None``
         (the default) leaves the cycle loop untouched.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer` collecting cycle-level
+        events and per-component metrics. ``None`` (or a tracer with
+        ``enabled=False``) keeps every hot path telemetry-free beyond a
+        single ``is not None`` check per site.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class Simulator:
         credit_latency: int = 1,
         watchdog: int = 2000,
         faults: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         if credit_latency < 1:
             raise ValueError(f"credit_latency must be >= 1, got {credit_latency}")
@@ -95,6 +101,11 @@ class Simulator:
             traffic.allocator = self.packet_ids
         if not network._finalized:
             network.finalize()
+        # A disabled tracer is indistinguishable from no tracer: hot paths
+        # guard on ``self._tracer is not None`` and nothing else.
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        if self._tracer is not None:
+            self._tracer.bind(self)
         if faults is not None:
             faults.install(self)
 
@@ -118,22 +129,29 @@ class Simulator:
         link.on_flit_sent(now, flit, self._flit_width)
         if link.fault is not None:
             self._faults.note_send(link, flit, now)
+        if self._tracer is not None:
+            self._tracer.on_flit_sent(link, flit, now)
         self._schedule(now + link.latency, ("flit", endpoint, out_vc, flit))
 
     def _credit_fn(self, endpoint: Endpoint, vc: int, now: int) -> None:
         self._schedule(now + self.credit_latency, ("credit", endpoint, vc))
 
     def _deliver(self, endpoint: Endpoint, vc: int, flit: Flit, now: int) -> None:
+        tracer = self._tracer
         if flit.fate is not None:
             # CRC failure / dead transceiver: the receiver discards the flit
             # (repro.faults handles credit return and NACK scheduling).
             self._faults.note_drop(endpoint, vc, flit, now)
             return
+        if tracer is not None:
+            tracer.on_flit_delivered(endpoint, flit, now)
         if endpoint.is_sink:
             self.stats.on_flit_ejected(now)
             if flit.is_tail:
                 flit.packet.t_eject = now
                 self.stats.on_packet_ejected(flit.packet, now)
+                if tracer is not None:
+                    tracer.on_packet_ejected(flit.packet, now)
         else:
             endpoint.router.deliver_flit(endpoint.in_port, vc, flit)
 
@@ -162,9 +180,12 @@ class Simulator:
 
         # Phase 2: shared-medium (token) arbitration (event-driven request
         # sets; O(requesters) per free medium, not O(members)).
+        tracer = self._tracer
         for medium in self.network.mediums:
             if medium.holder is None and medium.requesters:
-                medium.try_grant(now)
+                granted = medium.try_grant(now)
+                if tracer is not None and granted is not None:
+                    tracer.on_token_grant(medium, granted, now)
 
         # Phase 2.5: fault injection + link-layer retransmission engines.
         # Placed after token arbitration (a freshly granted engine transmits
@@ -190,6 +211,8 @@ class Simulator:
         if self.traffic is not None:
             for packet in self.traffic.tick(now):
                 self.stats.on_packet_created(packet)
+                if tracer is not None:
+                    tracer.on_packet_created(packet, now)
                 self.network.inject_packet(packet)
         for ni in self.network.interfaces:
             if ni is not None and ni.queue:
@@ -204,6 +227,8 @@ class Simulator:
         if moved:
             self._last_progress = now
         elif self.network.total_occupancy() and now - self._last_progress > self.watchdog:
+            if tracer is not None:
+                tracer.on_deadlock(now, self.network.total_occupancy())
             raise SimulationDeadlock(self._deadlock_report(now))
 
         self.now = now + 1
@@ -267,11 +292,26 @@ class Simulator:
         if self.traffic is not None:
             self._paused_traffic = self.traffic
             self.traffic = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_drain_start(
+                self.now, self.network.total_occupancy(), self._backlog()
+            )
+        start_ejected = self.stats.packets_ejected
+        moved = 0
+        drained = False
         for _ in range(max_cycles):
             if not self._pending_work():
-                return True
-            self.step()
-        return not self._pending_work()
+                drained = True
+                break
+            moved += self.step()
+        else:
+            drained = not self._pending_work()
+        if tracer is not None:
+            tracer.on_drain_end(
+                self.now, moved, self.stats.packets_ejected - start_ejected, drained
+            )
+        return drained
 
     def resume_traffic(self) -> Optional[object]:
         """Restore the traffic process paused by :meth:`drain`.
@@ -283,7 +323,15 @@ class Simulator:
         if self.traffic is None:
             self.traffic = self._paused_traffic
         self._paused_traffic = None
+        if self._tracer is not None:
+            self._tracer.on_traffic_resumed(self.now, self.traffic is not None)
         return self.traffic
+
+    def _backlog(self) -> int:
+        """Flits queued at NIs but not yet injected into the network."""
+        return sum(
+            len(ni.queue) for ni in self.network.interfaces if ni is not None
+        )
 
     def _pending_work(self) -> bool:
         if self._events:

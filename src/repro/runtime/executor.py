@@ -24,8 +24,10 @@ available to workers.
 from __future__ import annotations
 
 import multiprocessing
+import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.cache import ResultCache
@@ -46,6 +48,7 @@ class RunResult:
     summary: Dict[str, float]
     power: Dict[str, Dict[str, float]] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
     wall_s: float = 0.0
     cache_hit: bool = False
 
@@ -56,6 +59,7 @@ class RunResult:
             "summary": self.summary,
             "power": self.power,
             "meta": self.meta,
+            "metrics": self.metrics,
             "wall_s": self.wall_s,
         }
 
@@ -70,6 +74,7 @@ class RunResult:
             summary=dict(payload.get("summary") or {}),
             power={k: dict(v) for k, v in (payload.get("power") or {}).items()},
             meta=dict(payload.get("meta") or {}),
+            metrics=dict(payload.get("metrics") or {}),
             wall_s=float(payload.get("wall_s", 0.0)),
             cache_hit=cache_hit,
         )
@@ -191,19 +196,28 @@ def _power_metrics(built, sim, config_id: int, scenario: int) -> Dict[str, float
     return out
 
 
-def execute_inline(spec: RunSpec):
+def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     """Run ``spec`` in-process and return ``(built, sim, result)``.
 
     The escape hatch for experiments that post-process live network
     objects (thermal maps, router activity heat). Shares the engine's
     isolation and determinism guarantees but bypasses cache and workers
     (the objects are not serialisable).
+
+    ``tracer`` attaches a caller-owned :class:`repro.telemetry.Tracer`
+    (the caller keeps the event stream, e.g. for Chrome export). Without
+    one, ``spec.telemetry`` spins up a metrics-only tracer whose flat
+    dict lands in ``result.metrics``.
     """
     t0 = time.perf_counter()
     built = build_topology(spec.topology, **dict(spec.topology_kwargs))
     stop = spec.cycles if spec.drain else None
     traffic = _make_traffic(spec.traffic, built.n_cores, stop)
     layer, hooks, fault_meta = _make_faults(spec, built)
+    if tracer is None and spec.telemetry:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(record_events=False)
     from repro.noc.simulator import Simulator
 
     sim = Simulator(
@@ -211,6 +225,7 @@ def execute_inline(spec: RunSpec):
         traffic=traffic,
         warmup_cycles=spec.warmup,
         faults=layer,
+        tracer=tracer,
     )
     for hook in hooks:
         sim.add_hook(hook)
@@ -234,12 +249,17 @@ def execute_inline(spec: RunSpec):
         "kind": built.kind,
     }
     meta.update(fault_meta)
+    metrics: Dict[str, object] = {}
+    if tracer is not None and tracer.enabled:
+        tracer.finalize(sim)
+        metrics = tracer.metrics_dict()
     result = RunResult(
         spec=spec,
         digest=spec.digest(),
         summary=summary,
         power=power,
         meta=meta,
+        metrics=metrics,
         wall_s=time.perf_counter() - t0,
     )
     return built, sim, result
@@ -279,6 +299,16 @@ class Executor:
         ``None`` disables run records.
     progress:
         Optional ``(done, total, result)`` callback fired per completion.
+    telemetry:
+        Rewrite every incoming spec with ``telemetry=True`` so results
+        (and run records) carry per-channel-class metrics. Changes spec
+        digests, so telemetry-on and telemetry-off results cache
+        separately.
+    trace_dir:
+        Directory for Chrome ``trace_event`` JSON files, one per unique
+        executed spec (named ``{label}-{digest8}.json``). Implies
+        ``telemetry`` and forces in-process execution for traced runs
+        (the event stream does not cross process or cache boundaries).
     """
 
     def __init__(
@@ -287,6 +317,8 @@ class Executor:
         cache: Optional[Union[ResultCache, str]] = None,
         runlog: Optional[Union[RunLog, str]] = None,
         progress: Optional[ProgressFn] = None,
+        telemetry: bool = False,
+        trace_dir: Optional[Union[str, "Path"]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -298,6 +330,8 @@ class Executor:
             runlog = RunLog(runlog)
         self.runlog = runlog
         self.progress = progress
+        self.telemetry = telemetry or trace_dir is not None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.runs_executed = 0
         self.runs_from_cache = 0
 
@@ -309,6 +343,10 @@ class Executor:
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Execute ``specs``, returning results in input order."""
         specs = list(specs)
+        if self.telemetry:
+            specs = [
+                s if s.telemetry else s.with_(telemetry=True) for s in specs
+            ]
         total = len(specs)
         results: List[Optional[RunResult]] = [None] * total
         done = 0
@@ -345,7 +383,9 @@ class Executor:
             first_by_digest[digests[i]] = i
             unique.append(i)
 
-        if self.jobs > 1 and len(unique) > 1:
+        if self.trace_dir is not None:
+            computed = [self._run_traced(specs[i]) for i in unique]
+        elif self.jobs > 1 and len(unique) > 1:
             computed = self._run_pool([specs[i] for i in unique])
         else:
             computed = [run_spec(specs[i]) for i in unique]
@@ -361,6 +401,19 @@ class Executor:
             self.runs_executed += 1
             _finish(i, result)
         return results  # type: ignore[return-value]
+
+    def _run_traced(self, spec: RunSpec) -> RunResult:
+        """Execute one spec with full event recording + Chrome export."""
+        from repro.telemetry import Tracer
+        from repro.telemetry.export import write_chrome_trace
+
+        tracer = Tracer()
+        _, _, result = execute_inline(spec, tracer=tracer)
+        stem = re.sub(r"[^A-Za-z0-9._-]+", "-", spec.label())
+        path = self.trace_dir / f"{stem}-{result.digest[:8]}.json"
+        write_chrome_trace(tracer, path)
+        result.meta["trace_path"] = str(path)
+        return result
 
     def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
         try:

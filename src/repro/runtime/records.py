@@ -16,16 +16,40 @@ streamable, and machine-readable for regression dashboards. Schema::
       "wall_s": 2.31,              # build + simulate + measure
       "cycles_per_sec": 519.5,     # simulated cycles per wall second
       "summary": {...},            # StatsCollector.summary() + protocol counters
+      "metrics": {...},            # telemetry (only when spec.telemetry)
       "meta": {...}                # network name, core count, ...
     }
+
+Records are *strict* JSON: every line must parse under ``allow_nan=False``
+consumers. Python's ``json`` would otherwise emit bare ``NaN`` tokens for
+empty-sample latency stats (``LatencyStats.from_samples([])``), which is
+not JSON and breaks ``jq`` and other strict parsers -- :func:`json_safe`
+renders non-finite floats as ``null`` at this boundary.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import Dict, List, Union
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats (NaN/Inf) with ``None``.
+
+    Applied to every run record before serialisation so empty-sample
+    statistics (NaN in process) become ``null`` on disk instead of the
+    invalid bare ``NaN`` token Python's encoder emits by default.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
 
 
 class RunLog:
@@ -38,8 +62,11 @@ class RunLog:
         self.records_written = 0
 
     def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(
+            json_safe(record), sort_keys=True, default=str, allow_nan=False
+        )
         with open(self.path, "a") as fh:
-            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            fh.write(line + "\n")
         self.records_written += 1
 
 
@@ -47,7 +74,7 @@ def make_record(result: "RunResult") -> Dict[str, object]:  # noqa: F821
     """Build the JSONL record for one executor result."""
     spec = result.spec
     wall = result.wall_s
-    return {
+    record = {
         "ts": time.time(),
         "digest": result.digest,
         "label": spec.label(),
@@ -62,6 +89,9 @@ def make_record(result: "RunResult") -> Dict[str, object]:  # noqa: F821
         "summary": result.summary,
         "meta": result.meta,
     }
+    if result.metrics:
+        record["metrics"] = result.metrics
+    return json_safe(record)
 
 
 def read_runlog(path: Union[str, Path]) -> List[Dict[str, object]]:

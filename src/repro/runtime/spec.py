@@ -162,6 +162,12 @@ class RunSpec:
         ``(config_id, scenario)`` pairs to measure with the power model
         after the run; results land in ``RunResult.power`` keyed
         ``"cfg{c}_s{s}"``.
+    telemetry:
+        Attach a metrics-only :class:`repro.telemetry.Tracer` to the run;
+        its flat metric dict lands in ``RunResult.metrics`` (and the JSONL
+        record). Event buffering / Chrome traces are an executor concern
+        (``Executor(trace_dir=...)``), not a spec knob, because the event
+        stream is not cacheable payload.
     """
 
     topology: str
@@ -172,6 +178,7 @@ class RunSpec:
     drain: int = 0
     faults: Optional[FaultSpec] = None
     power: Tuple[Tuple[int, int], ...] = ()
+    telemetry: bool = False
 
     @classmethod
     def create(
@@ -190,6 +197,7 @@ class RunSpec:
         drain: int = 0,
         faults: Optional[FaultSpec] = None,
         power: Tuple[Tuple[int, int], ...] = (),
+        telemetry: bool = False,
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts/kwargs."""
         return cls(
@@ -209,6 +217,7 @@ class RunSpec:
             drain=drain,
             faults=faults,
             power=tuple((int(c), int(s)) for c, s in power),
+            telemetry=telemetry,
         )
 
     def with_(self, **changes) -> "RunSpec":
@@ -244,6 +253,7 @@ class RunSpec:
             drain=int(d.get("drain", 0)),
             faults=faults,
             power=power,
+            telemetry=bool(d.get("telemetry", False)),
         )
 
     def canonical_json(self) -> str:

@@ -1,0 +1,80 @@
+"""Structured, low-overhead telemetry for the cycle simulator.
+
+``repro.telemetry`` is the observability layer the paper's per-component
+claims (token wait at the MWSR crossbars, wireless channel occupancy per
+distance class, retransmission cost) are measured -- and regression
+tested -- against:
+
+- :class:`Tracer` -- typed cycle-stamped events plus per-component
+  metrics, threaded through ``Simulator``/``Router``/link arbitration/
+  ``repro.faults`` behind a single ``is not None`` check per hot-path
+  site (zero work when no tracer is attached);
+- :class:`MetricRegistry` / :class:`Counter` / :class:`Histogram` --
+  mergeable aggregates keyed by component and channel class;
+- :func:`chrome_trace` / :func:`write_chrome_trace` -- Chrome
+  ``trace_event`` JSON for ``about:tracing`` / Perfetto;
+- flat metric dicts folded into JSONL run records via
+  ``RunSpec(telemetry=True)`` and the ``--metrics`` / ``--trace`` CLI
+  flags.
+
+See ``docs/telemetry.md`` for the event schema and a Chrome-trace howto.
+"""
+
+from repro.telemetry.classify import (
+    WIRELESS_CLASSES,
+    infer_channel_classes,
+    link_class,
+    own_channel_classes,
+)
+from repro.telemetry.events import (
+    DEADLOCK,
+    DRAIN_END,
+    DRAIN_START,
+    EVENT_TYPES,
+    FAILOVER,
+    FLIT_DROP,
+    FLIT_RECV,
+    FLIT_SEND,
+    PACKET_DONE,
+    RETX,
+    SPAN_EVENTS,
+    TOKEN_GRANT,
+    TOKEN_REQUEST,
+    TRAFFIC_RESUMED,
+    VC_STALL,
+    TraceEvent,
+)
+from repro.telemetry.export import chrome_trace, write_chrome_trace
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.tracer import BREAKDOWN_STAGES, Tracer
+
+__all__ = [
+    "BREAKDOWN_STAGES",
+    "Counter",
+    "DEADLOCK",
+    "DRAIN_END",
+    "DRAIN_START",
+    "EVENT_TYPES",
+    "FAILOVER",
+    "FLIT_DROP",
+    "FLIT_RECV",
+    "FLIT_SEND",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "PACKET_DONE",
+    "RETX",
+    "SPAN_EVENTS",
+    "TOKEN_GRANT",
+    "TOKEN_REQUEST",
+    "TRAFFIC_RESUMED",
+    "TraceEvent",
+    "Tracer",
+    "VC_STALL",
+    "WIRELESS_CLASSES",
+    "chrome_trace",
+    "infer_channel_classes",
+    "link_class",
+    "own_channel_classes",
+    "write_chrome_trace",
+]

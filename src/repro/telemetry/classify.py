@@ -1,0 +1,64 @@
+"""Channel-class attribution for telemetry.
+
+The paper's wireless channel plan (Tables I/II) groups channels into
+distance classes -- C2C (corner-to-corner), E2E (edge-to-edge) and SR
+(short-range) -- and the power/occupancy story of Figs. 5-8 is told per
+class. Telemetry attributes per-link activity to those classes so run
+records can report, e.g., ``wireless_busy_cycles[C2C]``.
+
+Class labels:
+
+* wireless links with a known Table III ``channel_id`` -> ``"C2C"`` /
+  ``"E2E"`` / ``"SR"``;
+* other wireless links (spares, baseline topologies) -> ``"wireless"``;
+* photonic / electrical links -> their kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.links import Link
+    from repro.noc.network import Network
+
+#: Distance classes of the paper's wireless channel plans.
+WIRELESS_CLASSES = ("C2C", "E2E", "SR")
+
+
+def own_channel_classes(n_cores: int) -> Dict[int, str]:
+    """Table III channel index -> distance class for an OWN network.
+
+    OWN-256 (Table I) assigns indices 1-12; OWN-1024 (Table II) uses all
+    16 with a different class layout, selected by core count.
+    """
+    if n_cores >= 1024:
+        from repro.core.channels import own1024_channels
+
+        channels = own1024_channels()
+    else:
+        from repro.core.channels import own256_channels
+
+        channels = own256_channels()
+    return {ch.channel_index: ch.distance_class for ch in channels}
+
+
+def infer_channel_classes(network: "Network") -> Dict[int, str]:
+    """Best-effort channel-class map for a finalized network.
+
+    OWN networks are recognised by name; other topologies either have no
+    ``channel_id`` on their wireless links (classified ``"wireless"``) or
+    can pass an explicit map to :class:`~repro.telemetry.tracer.Tracer`.
+    """
+    if network.name.startswith("own"):
+        return own_channel_classes(network.n_cores)
+    return {}
+
+
+def link_class(link: "Link", channel_classes: Optional[Dict[int, str]] = None) -> str:
+    """Telemetry class label for one link."""
+    if link.kind == "wireless":
+        if channel_classes and link.channel_id is not None:
+            return channel_classes.get(link.channel_id, "wireless")
+        return "wireless"
+    return link.kind

@@ -1,0 +1,92 @@
+"""Exporters: Chrome ``trace_event`` JSON.
+
+The Chrome trace format (loadable in ``about:tracing`` and Perfetto)
+models a trace as processes containing named threads with duration and
+instant events. We map:
+
+* the whole network -> process 0,
+* each component (link, medium, router, ``sim``) -> one thread (track),
+* ``flit_send`` -> a duration ("X") event spanning the serialization
+  interval, so link/channel busy-vs-idle is directly visible,
+* every other event type -> a thread-scoped instant ("i") event.
+
+Cycles are exported as microseconds 1:1 (``ts`` must be numeric; the
+absolute unit is meaningless for a cycle simulator, relative spans are
+what matters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union, TYPE_CHECKING
+
+from repro.telemetry.events import SPAN_EVENTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.tracer import Tracer
+
+
+def chrome_trace(tracer: "Tracer") -> Dict[str, object]:
+    """Build the Chrome ``trace_event`` JSON object for a tracer's events."""
+    trace_events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "network"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+
+    def tid_for(component: str) -> int:
+        tid = tids.get(component)
+        if tid is None:
+            tid = tids[component] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": component},
+                }
+            )
+        return tid
+
+    for ev in tracer.events:
+        entry: Dict[str, object] = {
+            "name": ev.etype,
+            "cat": ev.etype,
+            "pid": 0,
+            "tid": tid_for(ev.component),
+            "ts": ev.cycle,
+            "args": ev.args or {},
+        }
+        if ev.etype in SPAN_EVENTS:
+            entry["ph"] = "X"
+            entry["dur"] = max(1, ev.dur)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        trace_events.append(entry)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "unit": "1 cycle = 1 us",
+            "events_dropped": tracer.events_dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path: Union[str, Path]) -> Path:
+    """Serialise the tracer's events to a Chrome trace JSON file."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, allow_nan=False)
+    return path

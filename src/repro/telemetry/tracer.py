@@ -1,0 +1,435 @@
+"""The :class:`Tracer`: cycle-level event/metric collection for one run.
+
+The tracer is threaded through the simulator's hot paths behind a single
+``is not None`` check per site -- with no tracer attached the cycle loop
+does no telemetry work at all (the regression suite guards this with the
+tracer's ``emits`` call counter, not wall-clock timing). With a tracer
+attached it plays two roles:
+
+* **events** -- a bounded, append-only list of :class:`TraceEvent` in
+  simulation order, exportable to Chrome ``trace_event`` JSON
+  (:mod:`repro.telemetry.export`);
+* **metrics** -- counters/histograms in a :class:`MetricRegistry`, keyed
+  by component (home waveguide, wireless channel) and channel class
+  (C2C/E2E/SR, photonic vs wireless), flattened into JSONL run records.
+
+Per-packet latency breakdown
+----------------------------
+
+Each measured packet's end-to-end latency is decomposed into:
+
+``queueing``       source-NI wait (``t_inject - t_create``)
+``token_wait``     cycles between medium VC-allocation and the head
+                   flit's send, summed over shared-medium hops
+``serialization``  head-to-tail spacing on the *last* traversed link --
+                   the only hop whose serialization sits on the critical
+                   path (earlier hops overlap downstream pipelining)
+``flight``         propagation latency of each traversed link
+``retx``           backoff + engine wait of link-layer retransmissions
+``other``          the remainder (router pipeline + switch contention)
+
+aggregated into per-channel-class histograms (``pkt_token_wait[C2C]``,
+...). The class of a packet is the distance class of the wireless channel
+it traversed, else ``photonic``/``electrical``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.telemetry.classify import infer_channel_classes, link_class
+from repro.telemetry.events import (
+    DEADLOCK,
+    DRAIN_END,
+    DRAIN_START,
+    FAILOVER,
+    FLIT_DROP,
+    FLIT_RECV,
+    FLIT_SEND,
+    PACKET_DONE,
+    RETX,
+    TOKEN_GRANT,
+    TOKEN_REQUEST,
+    TRAFFIC_RESUMED,
+    VC_STALL,
+    TraceEvent,
+)
+from repro.telemetry.metrics import MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.links import Endpoint, Link, SharedMedium
+    from repro.noc.packet import Flit, Packet
+    from repro.noc.router import Router
+    from repro.noc.simulator import Simulator
+
+#: Latency-breakdown stages, in reporting order.
+BREAKDOWN_STAGES = (
+    "queueing",
+    "token_wait",
+    "serialization",
+    "flight",
+    "retx",
+    "other",
+)
+
+
+class _PacketTrace:
+    """Mutable per-packet breakdown accumulator (alive until ejection)."""
+
+    __slots__ = (
+        "token_since",
+        "token_wait",
+        "serialization",
+        "flight",
+        "retx_wait",
+        "head_cycle",
+        "cls",
+    )
+
+    def __init__(self) -> None:
+        self.token_since = -1  # cycle the packet started waiting for a token
+        self.token_wait = 0
+        self.serialization = 0
+        self.flight = 0
+        self.retx_wait = 0
+        self.head_cycle = -1
+        self.cls: Optional[str] = None  # wireless distance class, if any
+
+
+class Tracer:
+    """Collects events and metrics from one simulation.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes the tracer inert: the simulator treats it exactly
+        like ``tracer=None`` (no hook is ever invoked; ``emits`` stays 0).
+    record_events:
+        Buffer :class:`TraceEvent` objects (needed for Chrome export).
+        ``False`` keeps metrics only -- the cheap mode run records use.
+    collect_metrics:
+        Maintain the :class:`MetricRegistry` and per-packet breakdowns.
+    max_events:
+        Hard cap on buffered events; beyond it events are counted in
+        ``events_dropped`` instead of stored (runaway-trace protection).
+    channel_classes:
+        Optional ``channel_id -> distance class`` map. When empty it is
+        inferred from the network at :meth:`bind` time (OWN topologies).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        record_events: bool = True,
+        collect_metrics: bool = True,
+        max_events: int = 1_000_000,
+        channel_classes: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.record_events = record_events
+        self.collect_metrics = collect_metrics
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.events_dropped = 0
+        #: Total hook invocations -- the counter the "disabled tracing has
+        #: zero overhead" regression test asserts on.
+        self.emits = 0
+        self.metrics = MetricRegistry()
+        self.sim: Optional["Simulator"] = None
+        self._channel_classes = dict(channel_classes or {})
+        self._link_class: Dict["Link", str] = {}
+        self._pkt: Dict[int, _PacketTrace] = {}
+        self._req_since: Dict["Link", int] = {}
+        self._retx_queued: Dict[tuple, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to a simulator (called by ``Simulator.__init__``).
+
+        Precomputes the link -> class map and hands each router a tracer
+        reference so the VCA/SA stages can emit without a simulator hop.
+        """
+        self.sim = sim
+        network = sim.network
+        if not self._channel_classes:
+            self._channel_classes = infer_channel_classes(network)
+        for link in network.links:
+            self._link_class[link] = link_class(link, self._channel_classes)
+        for router in network.routers:
+            router.tracer = self
+
+    def class_of(self, link: "Link") -> str:
+        cls = self._link_class.get(link)
+        if cls is None:
+            cls = self._link_class[link] = link_class(link, self._channel_classes)
+        return cls
+
+    def _event(
+        self,
+        cycle: int,
+        etype: str,
+        component: str,
+        dur: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append(TraceEvent(cycle, etype, component, dur, args))
+
+    # ------------------------------------------------------------------ #
+    # Packet lifecycle (Simulator)
+    # ------------------------------------------------------------------ #
+
+    def on_packet_created(self, packet: "Packet", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            self._pkt[packet.pid] = _PacketTrace()
+
+    def on_flit_sent(self, link: "Link", flit: "Flit", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            pt = self._pkt.get(flit.packet.pid)
+            if pt is not None:
+                if flit.is_head:
+                    if pt.token_since >= 0 and link.medium is not None:
+                        pt.token_wait += now - pt.token_since
+                    pt.token_since = -1
+                    pt.head_cycle = now
+                    pt.flight += link.latency
+                    if link.kind == "wireless":
+                        pt.cls = self.class_of(link)
+                if flit.is_tail and pt.head_cycle >= 0:
+                    # Only the last hop's head-to-tail spacing sits on the
+                    # critical path (earlier hops' serialization overlaps
+                    # downstream pipelining), so overwrite rather than sum.
+                    pt.serialization = now - pt.head_cycle
+        if self.record_events:
+            self._event(
+                now,
+                FLIT_SEND,
+                link.name,
+                dur=link.cycles_per_flit,
+                args={"pid": flit.packet.pid, "seq": flit.seq},
+            )
+
+    def on_flit_delivered(self, endpoint: "Endpoint", flit: "Flit", now: int) -> None:
+        self.emits += 1
+        if self.record_events:
+            self._event(
+                now, FLIT_RECV, endpoint.name, args={"pid": flit.packet.pid}
+            )
+
+    def on_packet_ejected(self, packet: "Packet", now: int) -> None:
+        self.emits += 1
+        if not self.collect_metrics:
+            return
+        pt = self._pkt.pop(packet.pid, None)
+        if pt is None:
+            return
+        total = now - packet.t_create
+        queueing = (
+            packet.t_inject - packet.t_create if packet.t_inject is not None else 0
+        )
+        parts = {
+            "queueing": queueing,
+            "token_wait": pt.token_wait,
+            "serialization": pt.serialization,
+            "flight": pt.flight,
+            "retx": pt.retx_wait,
+        }
+        parts["other"] = max(0, total - sum(parts.values()))
+        cls = pt.cls or ("photonic" if packet.photonic_hops else "electrical")
+        hist = self.metrics.histogram
+        hist("pkt_total", cls).observe(total)
+        for stage, v in parts.items():
+            hist(f"pkt_{stage}", cls).observe(v)
+        if self.record_events:
+            args = dict(parts)
+            args.update({"pid": packet.pid, "total": total, "class": cls})
+            self._event(now, PACKET_DONE, f"core{packet.dst_core}", args=args)
+
+    # ------------------------------------------------------------------ #
+    # Token arbitration (Router VCA + Simulator phase 2)
+    # ------------------------------------------------------------------ #
+
+    def on_medium_request(
+        self, medium: "SharedMedium", link: "Link", packet: "Packet", now: int
+    ) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            pt = self._pkt.get(packet.pid)
+            if pt is not None:
+                pt.token_since = now
+            if link not in self._req_since:
+                self._req_since[link] = now
+        if self.record_events:
+            self._event(
+                now, TOKEN_REQUEST, medium.name,
+                args={"link": link.name, "pid": packet.pid},
+            )
+
+    def on_token_grant(self, medium: "SharedMedium", link: "Link", now: int) -> None:
+        self.emits += 1
+        wait = now - self._req_since.pop(link, now) + medium.arb_latency
+        if self.collect_metrics:
+            self.metrics.counter("token_wait_cycles", medium.name).add(wait)
+            self.metrics.counter("token_grants", medium.name).add(1)
+            self.metrics.histogram("token_wait", medium.kind).observe(wait)
+        if self.record_events:
+            self._event(
+                now, TOKEN_GRANT, medium.name,
+                args={"link": link.name, "wait": wait},
+            )
+
+    # ------------------------------------------------------------------ #
+    # Stalls (Router SA)
+    # ------------------------------------------------------------------ #
+
+    def on_vc_stall(
+        self, router: "Router", port_kind: str, reason: str, now: int
+    ) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            self.metrics.counter("vc_stall_cycles", f"{port_kind}.{reason}").add(1)
+        if self.record_events:
+            self._event(
+                now, VC_STALL, f"r{router.rid}", args={"reason": reason}
+            )
+
+    # ------------------------------------------------------------------ #
+    # Link-layer protocol (repro.faults.linklayer)
+    # ------------------------------------------------------------------ #
+
+    def on_flit_dropped(self, endpoint: "Endpoint", flit: "Flit", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            router = endpoint.router
+            kind = (
+                router.input_ports[endpoint.in_port].kind
+                if router is not None
+                else "sink"
+            )
+            self.metrics.counter("flit_drops", kind).add(1)
+        if self.record_events:
+            self._event(
+                now, FLIT_DROP, endpoint.name,
+                args={"pid": flit.packet.pid, "fate": flit.fate},
+            )
+
+    def on_retx_queued(self, link: "Link", packet: "Packet", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            self._retx_queued[(id(link), packet.pid)] = now
+
+    def on_retx_start(
+        self, link: "Link", packet: "Packet", attempts: int, now: int
+    ) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            queued = self._retx_queued.pop((id(link), packet.pid), now)
+            pt = self._pkt.get(packet.pid)
+            if pt is not None:
+                pt.retx_wait += now - queued
+            self.metrics.counter("retx_packets", self.class_of(link)).add(1)
+        if self.record_events:
+            self._event(
+                now, RETX, link.name,
+                args={"pid": packet.pid, "attempts": attempts},
+            )
+
+    def on_failover(self, link: "Link", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            self.metrics.counter("failovers", self.class_of(link)).add(1)
+        if self.record_events:
+            self._event(now, FAILOVER, link.name)
+
+    # ------------------------------------------------------------------ #
+    # Run-phase markers (Simulator drain / resume / watchdog)
+    # ------------------------------------------------------------------ #
+
+    def on_drain_start(self, now: int, occupancy: int, backlog: int) -> None:
+        self.emits += 1
+        if self.record_events:
+            self._event(
+                now, DRAIN_START, "sim",
+                args={"occupancy": occupancy, "backlog": backlog},
+            )
+
+    def on_drain_end(
+        self, now: int, moved: int, ejected: int, drained: bool
+    ) -> None:
+        self.emits += 1
+        if self.record_events:
+            self._event(
+                now, DRAIN_END, "sim",
+                args={"moved": moved, "ejected": ejected, "drained": drained},
+            )
+
+    def on_traffic_resumed(self, now: int, restored: bool) -> None:
+        self.emits += 1
+        if self.record_events:
+            self._event(now, TRAFFIC_RESUMED, "sim", args={"restored": restored})
+
+    def on_deadlock(self, now: int, occupancy: int) -> None:
+        self.emits += 1
+        if self.record_events:
+            self._event(now, DEADLOCK, "sim", args={"occupancy": occupancy})
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, sim: Optional["Simulator"] = None) -> None:
+        """Fold post-run link/medium activity into the registry.
+
+        Wireless channel occupancy (per class and per channel) and
+        photonic-medium utilisation are cheaper to compute once from the
+        links' own activity counters than to sample per cycle. Idempotent.
+        """
+        sim = sim or self.sim
+        if self._finalized or sim is None or not self.collect_metrics:
+            return
+        self._finalized = True
+        elapsed = max(1, sim.now)
+        counter = self.metrics.counter
+        gauge = self.metrics.gauge
+        busy_by_class: Dict[str, int] = {}
+        links_by_class: Dict[str, int] = {}
+        for link in sim.network.links:
+            if link.kind != "wireless":
+                continue
+            cls = self.class_of(link)
+            links_by_class[cls] = links_by_class.get(cls, 0) + 1
+            if link.flits_carried == 0:
+                continue
+            busy = link.flits_carried * link.cycles_per_flit
+            busy_by_class[cls] = busy_by_class.get(cls, 0) + busy
+            counter("wireless_flits", cls).add(link.flits_carried)
+            counter("channel_busy_cycles", link.name).add(busy)
+        for cls, busy in busy_by_class.items():
+            counter("wireless_busy_cycles", cls).add(busy)
+            # Average busy fraction across the class's channels (0..1).
+            gauge("wireless_occupancy", cls).set(
+                busy / (elapsed * links_by_class[cls])
+            )
+        photonic_busy = 0
+        for medium in sim.network.mediums:
+            if medium.flits_carried == 0:
+                continue
+            cpf = medium.members[0].cycles_per_flit if medium.members else 1
+            busy = medium.flits_carried * cpf
+            gauge("medium_occupancy", medium.name).set(busy / elapsed)
+            if medium.kind == "photonic":
+                photonic_busy += busy
+        if photonic_busy:
+            counter("photonic_busy_cycles", "photonic").add(photonic_busy)
+
+    def metrics_dict(self) -> Dict[str, Optional[float]]:
+        """Flat, JSON-safe metrics (call after :meth:`finalize`)."""
+        return self.metrics.as_flat_dict()

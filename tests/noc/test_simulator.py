@@ -9,8 +9,17 @@ from repro.noc import (
     Simulator,
     reset_packet_ids,
 )
+from repro.noc.simulator import SimulationDeadlock
 from repro.noc.stats import LatencyStats, StatsCollector
 from repro.noc.packet import Packet
+from repro.telemetry import (
+    DEADLOCK,
+    DRAIN_END,
+    DRAIN_START,
+    FLIT_RECV,
+    TRAFFIC_RESUMED,
+    Tracer,
+)
 from repro.traffic import ScriptedTraffic, SyntheticTraffic
 from repro.topologies import build_cmesh
 
@@ -150,6 +159,131 @@ class TestStatsWindows:
         collector.on_packet_ejected(p, 50)
         assert collector.avg_hops() == 3.0
         assert collector.avg_wireless_hops() == 1.0
+
+
+class TestRunPhaseTraceMarkers:
+    """Regression locks on drain / resume / deadlock via trace events."""
+
+    def _traced(self, rate=0.05, cycles=200):
+        built = build_cmesh(64)
+        tracer = Tracer()
+        sim = Simulator(
+            built.network,
+            traffic=SyntheticTraffic(64, "UN", rate, 4, seed=1, stop_cycle=cycles),
+            tracer=tracer,
+        )
+        sim.run(cycles)
+        return sim, tracer
+
+    def test_drain_markers_bracket_the_drain(self):
+        sim, tracer = self._traced()
+        assert sim.drain()
+        starts = [ev for ev in tracer.events if ev.etype == DRAIN_START]
+        ends = [ev for ev in tracer.events if ev.etype == DRAIN_END]
+        assert len(starts) == len(ends) == 1
+        start, end = starts[0], ends[0]
+        assert start.cycle <= end.cycle
+        assert end.args["drained"] is True
+        assert start.args["occupancy"] >= 0
+        assert start.args["backlog"] >= 0
+
+    def test_drained_flit_count_matches_sink_deliveries(self):
+        sim, tracer = self._traced()
+        ejected_before = sim.stats.flits_ejected
+        packets_before = sim.stats.packets_ejected
+        assert sim.drain()
+        start = next(ev for ev in tracer.events if ev.etype == DRAIN_START)
+        end = next(ev for ev in tracer.events if ev.etype == DRAIN_END)
+        # Every flit ejected during the drain window shows up as exactly
+        # one FLIT_RECV at a core sink.
+        sink_recvs = [
+            ev
+            for ev in tracer.events
+            if ev.etype == FLIT_RECV
+            and ev.component.endswith(".sink")
+            and start.cycle <= ev.cycle <= end.cycle
+        ]
+        assert len(sink_recvs) == sim.stats.flits_ejected - ejected_before > 0
+        assert end.args["ejected"] == sim.stats.packets_ejected - packets_before
+        assert end.args["moved"] >= len(sink_recvs)
+
+    def test_incomplete_drain_marked_not_drained(self):
+        sim, tracer = self._traced(rate=0.2, cycles=60)
+        if sim.drain(max_cycles=1):
+            pytest.skip("network emptied in one cycle")
+        end = next(ev for ev in tracer.events if ev.etype == DRAIN_END)
+        assert end.args["drained"] is False
+
+    def test_resume_traffic_marker(self):
+        sim, tracer = self._traced()
+        sim.drain()
+        sim.resume_traffic()
+        resumed = [ev for ev in tracer.events if ev.etype == TRAFFIC_RESUMED]
+        assert len(resumed) == 1
+        assert resumed[0].args["restored"] is True
+
+    def test_resume_without_traffic_marks_unrestored(self):
+        built = build_cmesh(64)
+        tracer = Tracer()
+        sim = Simulator(built.network, tracer=tracer)
+        sim.resume_traffic()
+        resumed = [ev for ev in tracer.events if ev.etype == TRAFFIC_RESUMED]
+        assert len(resumed) == 1
+        assert resumed[0].args["restored"] is False
+
+
+class LineRouting(RoutingFunction):
+    """0 -> 1 forwarding for the two-router deadlock fixture."""
+
+    def __init__(self, net, fwd_port):
+        self.net = net
+        self.fwd_port = fwd_port
+
+    def compute(self, router, packet):
+        dst = self.net.core_router[packet.dst_core]
+        if dst == router.rid:
+            return self.net.core_eject_port[packet.dst_core]
+        return self.fwd_port
+
+
+class TestDeadlockReport:
+    def _stuck_sim(self, tracer=None):
+        net = Network("line", n_cores=2, num_vcs=2, vc_depth=4)
+        net.add_router()
+        net.add_router()
+        net.attach_core(0, 0)
+        net.attach_core(1, 1)
+        fwd_port, _ = net.connect(0, 1)
+        net.set_routing(LineRouting(net, fwd_port))
+        net.finalize()
+        sim = Simulator(net, watchdog=10, tracer=tracer)
+        # Artificially exhaust the downstream VCs: VCA can never succeed,
+        # so the injected packet is provably stuck.
+        endpoint = net.routers[0].out_links[fwd_port].resolve_endpoint(
+            Packet(0, 1, 4, 0)
+        )
+        endpoint.vc_busy = [True] * len(endpoint.vc_busy)
+        net.inject_packet(Packet(0, 1, 4, 0, allocator=sim.packet_ids))
+        return sim
+
+    def test_watchdog_raises_with_diagnostics(self):
+        sim = self._stuck_sim()
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            sim.run(100)
+        msg = str(excinfo.value)
+        assert "no progress" in msg
+        assert "audit" in msg
+        assert "stuck flits by router" in msg
+        assert "r0" in msg
+
+    def test_deadlock_trace_event_carries_occupancy(self):
+        tracer = Tracer()
+        sim = self._stuck_sim(tracer=tracer)
+        with pytest.raises(SimulationDeadlock):
+            sim.run(100)
+        deadlocks = [ev for ev in tracer.events if ev.etype == DEADLOCK]
+        assert len(deadlocks) == 1
+        assert deadlocks[0].args["occupancy"] == sim.network.total_occupancy() > 0
 
 
 class SWMRRouting(RoutingFunction):

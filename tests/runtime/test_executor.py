@@ -95,6 +95,56 @@ class TestExecutorMechanics:
             run_spec(RunSpec.create("eschernet", cycles=10))
 
 
+class TestTelemetry:
+    def test_spec_telemetry_fills_metrics(self):
+        result = run_spec(spec(telemetry=True))
+        assert result.metrics
+        assert any(k.startswith("pkt_total[") for k in result.metrics)
+
+    def test_no_telemetry_no_metrics(self):
+        assert run_spec(spec()).metrics == {}
+
+    def test_telemetry_does_not_perturb_summary(self):
+        plain = run_spec(spec())
+        traced = run_spec(spec(telemetry=True))
+        assert traced.summary == plain.summary
+
+    def test_executor_flag_rewrites_specs(self):
+        result = Executor(jobs=1, telemetry=True).run_one(spec())
+        assert result.spec.telemetry is True
+        assert result.metrics
+
+    def test_metrics_survive_cache_round_trip(self, tmp_path):
+        ex = Executor(jobs=1, telemetry=True, cache=str(tmp_path / "c"))
+        first = ex.run_one(spec())
+        second = ex.run_one(spec())
+        assert second.cache_hit
+        assert second.metrics == first.metrics != {}
+
+    def test_metrics_cross_process_boundary(self):
+        results = Executor(jobs=2, telemetry=True).run([spec(0.01), spec(0.02)])
+        assert all(r.metrics for r in results)
+
+    def test_trace_dir_writes_chrome_traces(self, tmp_path):
+        import json
+
+        ex = Executor(trace_dir=str(tmp_path / "traces"))
+        result = ex.run_one(spec())
+        path = result.meta["trace_path"]
+        assert path.endswith(f"{result.digest[:8]}.json")
+        doc = json.loads(open(path).read())
+        assert doc["traceEvents"]
+        assert result.metrics  # trace_dir implies telemetry
+
+    def test_inline_with_caller_tracer(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        _, sim, result = execute_inline(spec(), tracer=tracer)
+        assert tracer.events
+        assert result.metrics  # finalized caller tracer feeds the result
+
+
 class TestRunIsolation:
     def test_simulators_get_private_packet_ids(self):
         # Two live simulators interleaved in one process must each count

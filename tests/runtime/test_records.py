@@ -1,6 +1,11 @@
 """JSONL run records: schema, append semantics, tolerant reading."""
 
+import json
+import math
+
+from repro.noc.stats import LatencyStats
 from repro.runtime import RunLog, RunResult, RunSpec, make_record, read_runlog
+from repro.runtime.records import json_safe
 
 
 def _result() -> RunResult:
@@ -56,3 +61,54 @@ class TestRunLog:
         with open(path, "a") as fh:
             fh.write("not json\n\n")
         assert read_runlog(path) == [{"ok": 1}]
+
+
+class TestStrictJson:
+    """Empty-sample NaN stats must serialise as ``null``, never ``NaN``."""
+
+    def test_json_safe_scrubs_nonfinite(self):
+        dirty = {
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "nested": {"x": [1.0, float("-inf")]},
+            "fine": 2.5,
+            "n": 3,
+        }
+        clean = json_safe(dirty)
+        assert clean["nan"] is None and clean["inf"] is None
+        assert clean["nested"]["x"] == [1.0, None]
+        assert clean["fine"] == 2.5 and clean["n"] == 3
+
+    def test_empty_latency_stats_record_is_strict_json(self, tmp_path):
+        # A zero-packet run: every LatencyStats field is NaN in process.
+        stats = LatencyStats.from_samples([])
+        assert math.isnan(stats.mean)
+        result = _result()
+        result.summary = {"latency_mean": stats.mean, "latency_p99": stats.p99}
+        record = make_record(result)
+        assert record["summary"]["latency_mean"] is None
+        path = tmp_path / "runs.jsonl"
+        RunLog(path).write(record)
+        # Strict parse: bare NaN tokens would raise here.
+        line = path.read_text().strip()
+        parsed = json.loads(line, parse_constant=lambda tok: 1 / 0)
+        assert parsed["summary"]["latency_mean"] is None
+        assert "NaN" not in line
+
+    def test_latency_stats_as_dict_emits_null(self):
+        d = LatencyStats.from_samples([]).as_dict()
+        assert d == {
+            "count": 0, "mean": None, "median": None,
+            "p95": None, "p99": None, "max": None,
+        }
+        json.dumps(d, allow_nan=False)
+        full = LatencyStats.from_samples([10, 20]).as_dict()
+        assert full["mean"] == 15.0 and full["count"] == 2
+
+    def test_metrics_folded_into_record(self):
+        result = _result()
+        result.metrics = {"wireless_occupancy[C2C]": 0.25}
+        record = make_record(result)
+        assert record["metrics"] == {"wireless_occupancy[C2C]": 0.25}
+        # No telemetry -> no metrics key (keeps old records byte-compatible).
+        assert "metrics" not in make_record(_result())

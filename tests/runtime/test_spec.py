@@ -69,6 +69,18 @@ class TestDigest:
         assert self.make(topology_kwargs={"n_cores": 256}).digest() != base
         assert self.make(faults=FaultSpec()).digest() != base
         assert self.make(power=((4, 1),)).digest() != base
+        assert self.make(telemetry=True).digest() != base
+
+    def test_telemetry_round_trips(self):
+        spec = self.make(telemetry=True)
+        back = RunSpec.from_dict(spec.to_dict())
+        assert back.telemetry is True
+        assert back == spec and back.digest() == spec.digest()
+
+    def test_telemetry_defaults_off_for_old_payloads(self):
+        d = self.make().to_dict()
+        del d["telemetry"]
+        assert RunSpec.from_dict(d).telemetry is False
 
     def test_code_version_folds_into_digest(self, monkeypatch):
         base = self.make().digest()

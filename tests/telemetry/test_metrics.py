@@ -1,0 +1,161 @@
+"""Unit tests for counters, histograms and the metric registry."""
+
+import json
+import random
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_gauge_overwrites(self):
+        g = Gauge()
+        g.set(0.25)
+        g.set(0.5)
+        assert g.value == 0.5
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean is None
+        assert h.min is None and h.max is None
+        assert h.percentile(0.5) is None
+
+    def test_exact_count_sum_min_max(self):
+        h = Histogram()
+        for v in [3, 0, 17, 17, 5]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 42
+        assert h.min == 0
+        assert h.max == 17
+        assert h.mean == 42 / 5
+
+    def test_buckets_by_bit_length(self):
+        h = Histogram()
+        h.observe(0)  # bucket 0
+        h.observe(1)  # bucket 1
+        h.observe(2)  # bucket 2
+        h.observe(3)  # bucket 2
+        h.observe(4)  # bucket 3
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 3: 1}
+
+    def test_percentile_bucket_quantised(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        p50 = h.percentile(0.5)
+        # True median is 50; the bucket upper bound is at most 2x.
+        assert 50 <= p50 <= 100
+        assert h.percentile(1.0) == 100
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_negative_samples_clamped(self):
+        h = Histogram()
+        h.observe(-3)
+        assert h.min == 0 and h.total == 0
+
+    def test_merge_matches_sequential_observation(self):
+        rng = random.Random(5)
+        samples = [rng.randrange(0, 500) for _ in range(300)]
+        whole = Histogram()
+        a, b = Histogram(), Histogram()
+        for i, v in enumerate(samples):
+            whole.observe(v)
+            (a if i % 2 else b).observe(v)
+        assert a.merge(b) == whole
+
+    def test_merge_associative_and_commutative(self):
+        rng = random.Random(9)
+        parts = []
+        for _ in range(3):
+            h = Histogram()
+            for _ in range(50):
+                h.observe(rng.randrange(0, 1 << 12))
+            parts.append(h)
+        a, b, c = parts
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_identity(self):
+        h = Histogram()
+        for v in (1, 2, 3):
+            h.observe(v)
+        assert h.merge(Histogram()) == h
+        assert Histogram().merge(h) == h
+
+    def test_merge_is_pure(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1)
+        b.observe(2)
+        merged = a.merge(b)
+        assert a.count == 1 and b.count == 1 and merged.count == 2
+
+    def test_as_dict_json_safe(self):
+        h = Histogram()
+        h.observe(10)
+        d = h.as_dict()
+        assert d["count"] == 1 and d["mean"] == 10.0
+        json.dumps(d, allow_nan=False)  # must not raise
+        json.dumps(Histogram().as_dict(), allow_nan=False)
+
+
+class TestMetricRegistry:
+    def test_get_or_create(self):
+        reg = MetricRegistry()
+        assert reg.counter("x", "a") is reg.counter("x", "a")
+        assert reg.counter("x", "a") is not reg.counter("x", "b")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_counters_by_name(self):
+        reg = MetricRegistry()
+        reg.counter("token_wait_cycles", "wg0").add(5)
+        reg.counter("token_wait_cycles", "wg1").add(7)
+        reg.counter("other", "wg0").add(1)
+        assert reg.counters("token_wait_cycles") == {"wg0": 5, "wg1": 7}
+
+    def test_flat_dict_layout(self):
+        reg = MetricRegistry()
+        reg.counter("grants", "wg0").add(3)
+        reg.gauge("occupancy", "C2C").set(0.5)
+        reg.histogram("wait", "photonic").observe(4)
+        flat = reg.as_flat_dict()
+        assert flat["grants[wg0]"] == 3
+        assert flat["occupancy[C2C]"] == 0.5
+        assert flat["wait[photonic].count"] == 1
+        assert flat["wait[photonic].mean"] == 4.0
+        json.dumps(flat, allow_nan=False)
+
+    def test_empty_registry_flattens_empty(self):
+        assert MetricRegistry().as_flat_dict() == {}
+
+    def test_merge_counters_and_histograms(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("n", "x").add(2)
+        b.counter("n", "x").add(3)
+        b.counter("n", "y").add(1)
+        a.histogram("h").observe(1)
+        b.histogram("h").observe(3)
+        merged = a.merge(b)
+        assert merged.counter("n", "x").value == 5
+        assert merged.counter("n", "y").value == 1
+        assert merged.histogram("h").count == 2
+        # Purity: sources untouched.
+        assert a.counter("n", "x").value == 2
+        assert b.histogram("h").count == 1
+
+    def test_merge_gauges_other_wins(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        assert a.merge(b).gauge("g").value == 2.0

@@ -1,0 +1,127 @@
+"""Tracer behaviour: event ordering, zero-overhead-off, latency breakdown."""
+
+import pytest
+
+from repro.noc import Simulator, reset_packet_ids
+from repro.telemetry import (
+    BREAKDOWN_STAGES,
+    EVENT_TYPES,
+    FLIT_RECV,
+    FLIT_SEND,
+    PACKET_DONE,
+    Tracer,
+)
+from repro.topologies import build_cmesh
+from repro.traffic import SyntheticTraffic
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_packet_ids()
+
+
+def run_cmesh(tracer, cycles=300, rate=0.05, seed=11):
+    reset_packet_ids()
+    built = build_cmesh(64)
+    sim = Simulator(
+        built.network,
+        traffic=SyntheticTraffic(64, "UN", rate, 4, seed=seed, stop_cycle=cycles),
+        tracer=tracer,
+    )
+    sim.run(cycles)
+    sim.drain()
+    return sim
+
+
+class TestEventStream:
+    def test_cycles_monotonic(self):
+        tracer = Tracer()
+        run_cmesh(tracer)
+        cycles = [ev.cycle for ev in tracer.events]
+        assert cycles, "traced run produced no events"
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_event_types_are_known(self):
+        tracer = Tracer()
+        run_cmesh(tracer)
+        assert {ev.etype for ev in tracer.events} <= set(EVENT_TYPES)
+
+    def test_send_and_recv_balanced(self):
+        tracer = Tracer()
+        sim = run_cmesh(tracer)
+        sends = sum(1 for ev in tracer.events if ev.etype == FLIT_SEND)
+        recvs = sum(1 for ev in tracer.events if ev.etype == FLIT_RECV)
+        # Fully drained, fault-free: every sent flit is delivered.
+        assert sim.network.total_occupancy() == 0
+        assert sends == recvs > 0
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=100)
+        run_cmesh(tracer)
+        assert len(tracer.events) == 100
+        assert tracer.events_dropped > 0
+
+    def test_metrics_only_mode_buffers_nothing(self):
+        tracer = Tracer(record_events=False)
+        run_cmesh(tracer)
+        assert tracer.events == []
+        assert tracer.emits > 0
+        assert tracer.metrics.as_flat_dict()
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_never_invoked(self):
+        """The zero-overhead guard: a disabled tracer sees zero calls.
+
+        Guarded by the ``emits`` invocation counter, not wall-clock
+        timing, so the assertion is exact and CI-stable.
+        """
+        tracer = Tracer(enabled=False)
+        run_cmesh(tracer)
+        assert tracer.emits == 0
+        assert tracer.events == []
+        assert tracer.metrics.as_flat_dict() == {}
+
+    def test_disabled_tracer_results_bit_identical(self):
+        sim_off = run_cmesh(None)
+        sim_dis = run_cmesh(Tracer(enabled=False))
+        sim_on = run_cmesh(Tracer())
+        base = (
+            sim_off.stats.packets_ejected,
+            tuple(sim_off.stats.latencies),
+        )
+        assert (sim_dis.stats.packets_ejected, tuple(sim_dis.stats.latencies)) == base
+        # Tracing must observe, never perturb, the simulation.
+        assert (sim_on.stats.packets_ejected, tuple(sim_on.stats.latencies)) == base
+
+    def test_disabled_tracer_not_bound_to_routers(self):
+        sim = run_cmesh(Tracer(enabled=False))
+        assert sim._tracer is None
+        assert all(r.tracer is None for r in sim.network.routers)
+
+
+class TestLatencyBreakdown:
+    def test_breakdown_sums_to_total(self):
+        tracer = Tracer()
+        run_cmesh(tracer)
+        done = [ev for ev in tracer.events if ev.etype == PACKET_DONE]
+        assert done, "no packets completed"
+        for ev in done:
+            parts = sum(ev.args[stage] for stage in BREAKDOWN_STAGES)
+            assert parts == ev.args["total"], ev.args
+
+    def test_breakdown_histograms_cover_all_packets(self):
+        tracer = Tracer()
+        sim = run_cmesh(tracer)
+        flat = tracer.metrics.as_flat_dict()
+        counts = [
+            v for k, v in flat.items() if k.startswith("pkt_total[") and k.endswith(".count")
+        ]
+        assert sum(counts) == sim.stats.packets_ejected
+
+    def test_stages_nonnegative(self):
+        tracer = Tracer()
+        run_cmesh(tracer)
+        for ev in tracer.events:
+            if ev.etype == PACKET_DONE:
+                assert all(ev.args[s] >= 0 for s in BREAKDOWN_STAGES)

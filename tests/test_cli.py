@@ -116,3 +116,41 @@ class TestEngineFlags:
         captured = capsys.readouterr()
         assert "[fig5]" in captured.out
         assert "engine: 1 simulated, 0 from cache" in captured.err
+
+
+class TestTelemetryFlags:
+    OWN_ARGS = [
+        "sweep", "own256", "--rates", "0.03", "--cycles", "200",
+        "--warmup", "50",
+    ]
+
+    def test_metrics_flag_records_channel_classes(self, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        rc = main(self.OWN_ARGS + ["--metrics", "--runlog", str(log)])
+        assert rc == 0
+        capsys.readouterr()
+        from repro.runtime import read_runlog
+
+        (record,) = read_runlog(log)
+        metrics = record["metrics"]
+        for cls in ("C2C", "E2E", "SR"):
+            assert metrics[f"wireless_occupancy[{cls}]"] > 0
+
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        rc = main(self.OWN_ARGS + ["--trace", "--trace-out", str(trace_dir)])
+        assert rc == 0
+        capsys.readouterr()
+        files = list(trace_dir.glob("*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["traceEvents"]
+
+    def test_metrics_do_not_change_sweep_output(self, capsys):
+        assert main(self.OWN_ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(self.OWN_ARGS + ["--metrics"]) == 0
+        metered = capsys.readouterr().out
+        assert metered == plain
