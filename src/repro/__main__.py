@@ -16,6 +16,17 @@ Commands
     bisection accounting, photonic component inventory).
 ``channels``
     Print the wireless channel plan (Tables I-IV) without simulating.
+``report``
+    Markdown run report over the experiment suite; or, with
+    ``--analyze TOPOLOGY``, an instrumented load sweep rendered as a
+    self-contained HTML diagnosis (latency decomposition + bottleneck
+    verdicts, congestion heatmaps, simulator self-profile) with an
+    optional JSON dump.
+``diff``
+    Compare two JSONL run logs point by point (latency / throughput /
+    power deltas with noise bands from repeated runs); exits non-zero
+    when a gated metric regresses beyond the noise band plus
+    ``--threshold`` -- the CI regression gate.
 """
 
 from __future__ import annotations
@@ -103,7 +114,11 @@ def report_engine_stats(executor: Optional[Executor]) -> None:
         f"{stats['runs_from_cache']} from cache"
     )
     if executor.cache is not None:
-        line += f" (hit rate {executor.cache.hit_rate:.0%})"
+        cache = executor.cache
+        line += (
+            f" (hit rate {cache.hit_rate:.0%})"
+            f" [{cache.hits} hits / {cache.misses} misses]"
+        )
     print(line, file=sys.stderr)
 
 
@@ -195,6 +210,8 @@ def cmd_channels(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.analyze:
+        return _report_analyze(args)
     from repro.analysis import generate_report
 
     only = [w for w in args.only.split(",") if w] or None
@@ -207,6 +224,80 @@ def cmd_report(args: argparse.Namespace) -> int:
         fh.write(text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     return 0
+
+
+def _report_analyze(args: argparse.Namespace) -> int:
+    """``report --analyze``: instrumented sweep -> HTML + JSON diagnosis."""
+    import json
+
+    from repro.analysis import diagnose_sweep, render_sweep_report
+    from repro.runtime import resolve_ref
+    from repro.runtime.records import json_safe
+
+    key, kwargs = resolve_ref(NAMED_TOPOLOGIES[args.analyze])
+    rates = [float(r) for r in args.rates.split(",")]
+    diag = diagnose_sweep(
+        key,
+        pattern=args.pattern,
+        rates=rates,
+        cycles=args.cycles,
+        warmup=args.warmup,
+        topology_kwargs=kwargs,
+    )
+    for p in diag.points:
+        print(
+            f"  rate {p.rate:g}: latency {p.latency:.1f} cyc, "
+            f"verdict {p.verdict} ({p.attribution.verdict_share:.0%})"
+            if p.attribution
+            else f"  rate {p.rate:g}: no packet breakdown",
+            file=sys.stderr,
+        )
+    flip = diag.verdict_flip()
+    if flip:
+        print(
+            f"saturation knee at rate {flip['at']:g}: "
+            f"{flip['before']} -> {flip['after']}"
+        )
+    elif diag.knee is not None:
+        print(f"saturation knee at rate {diag.knee:g}")
+    else:
+        print("no saturation knee within the swept load range")
+    out = args.output if args.output != "report.md" else "diagnosis.html"
+    with open(out, "w") as fh:
+        fh.write(render_sweep_report(diag))
+    print(f"wrote {out}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(json_safe(diag.to_json_dict()), fh, indent=1,
+                      allow_nan=False)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis import diff_runlogs, format_diff
+
+    try:
+        diff = diff_runlogs(args.runlog_a, args.runlog_b,
+                            rel_threshold=args.threshold)
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(format_diff(diff))
+    if args.json:
+        import json
+
+        from repro.runtime.records import json_safe
+
+        with open(args.json, "w") as fh:
+            json.dump(json_safe(diff.to_json_dict()), fh, indent=1,
+                      allow_nan=False)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not diff.matched and not args.allow_unmatched:
+        print("error: no comparable run points (use --allow-unmatched "
+              "to tolerate)", file=sys.stderr)
+        return 2
+    return 0 if diff.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,12 +326,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch = sub.add_parser("channels", help="print the wireless channel plan")
     p_ch.set_defaults(fn=cmd_channels)
 
-    p_rep = sub.add_parser("report", help="generate a markdown run report")
+    p_rep = sub.add_parser(
+        "report", help="generate a markdown run report or an HTML diagnosis"
+    )
     p_rep.add_argument("-o", "--output", default="report.md")
     p_rep.add_argument("--only", default="", help="comma-separated experiment ids")
     p_rep.add_argument("--full", action="store_true",
                        help="full simulation windows (slow)")
+    p_rep.add_argument(
+        "--analyze", default=None, metavar="TOPOLOGY",
+        choices=sorted(TOPOLOGIES),
+        help="instead of the markdown report, run an instrumented load "
+             "sweep on TOPOLOGY and write a self-contained HTML diagnosis "
+             "(bottleneck attribution, congestion heatmaps, self-profile)",
+    )
+    p_rep.add_argument("--pattern", default="UN",
+                       help="traffic pattern for --analyze (default: UN)")
+    p_rep.add_argument("--rates", default="0.01,0.03,0.05,0.07",
+                       help="comma-separated offered loads for --analyze")
+    p_rep.add_argument("--cycles", type=int, default=800)
+    p_rep.add_argument("--warmup", type=int, default=200)
+    p_rep.add_argument("--json", default=None, metavar="PATH",
+                       help="also dump the --analyze diagnosis as JSON")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two JSONL run logs (CI regression gate)"
+    )
+    p_diff.add_argument("runlog_a", help="baseline run log (JSONL)")
+    p_diff.add_argument("runlog_b", help="candidate run log (JSONL)")
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.05, metavar="FRAC",
+        help="relative delta beyond the noise band that counts as a "
+             "regression (default: 0.05)",
+    )
+    p_diff.add_argument("--json", default=None, metavar="PATH",
+                        help="also dump the structured diff as JSON")
+    p_diff.add_argument(
+        "--allow-unmatched", action="store_true",
+        help="exit 0 even when the logs share no run points",
+    )
+    p_diff.set_defaults(fn=cmd_diff)
     return parser
 
 

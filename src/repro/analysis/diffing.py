@@ -1,0 +1,288 @@
+"""Run-record diffing: did this change move the numbers, and by how much?
+
+Compares two JSONL run logs (see :mod:`repro.runtime.records`) point by
+point for CI gating and before/after studies:
+
+- **Matching** -- records are grouped by *spec key* ``(topology, pattern,
+  rate, cycles, warmup)``. The content digest cannot be the join key
+  across commits (it folds in the code fingerprint, so it changes on
+  every source edit by design); instead, digest equality per matched key
+  is *reported* -- when digests agree the runs were bit-identical inputs
+  and any metric delta is pure measurement noise.
+- **Noise bands** -- repeated records under one key (repeated-seed or
+  repeated-run entries in the same log) define a per-metric spread
+  (max - min). A delta within the wider of the two logs' spreads is
+  reported but never significant.
+- **Gating** -- a delta is a *breach* when it exceeds the noise band
+  AND the relative threshold (default 5%) on a gated metric.
+  :func:`LogDiff.breaches` drives ``repro diff``'s exit status: two logs
+  of identical-seed runs diff clean and exit 0; a real regression exits
+  non-zero for CI.
+
+Compared metrics: mean/p99 latency, accepted throughput, and per-config
+power totals when both records carry them (v1 records without ``power``
+simply skip that row). The simulator's self-profile (wall-clock speed) is
+machine-dependent and intentionally **never** gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runtime.records import read_runlog
+
+#: Spec fields forming the cross-log join key.
+KEY_FIELDS = ("topology", "pattern", "rate", "cycles", "warmup")
+
+#: metric name -> (record path, higher-is-better). Latency regressions are
+#: increases; throughput regressions are decreases.
+GATED_METRICS: Dict[str, Tuple[Tuple[str, ...], bool]] = {
+    "latency_mean": (("summary", "latency_mean"), False),
+    "latency_p99": (("summary", "latency_p99"), False),
+    "throughput": (("summary", "throughput"), True),
+}
+
+SpecKey = Tuple[object, ...]
+
+
+def record_key(record: Mapping[str, object]) -> SpecKey:
+    return tuple(record.get(f) for f in KEY_FIELDS)
+
+
+def _lookup(record: Mapping[str, object], path: Tuple[str, ...]) -> Optional[float]:
+    node: object = record
+    for part in path:
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _power_paths(records: Sequence[Mapping[str, object]]) -> Dict[str, Tuple[str, ...]]:
+    """Power-total metric paths present in any record of a group."""
+    out: Dict[str, Tuple[str, ...]] = {}
+    for record in records:
+        power = record.get("power")
+        if isinstance(power, Mapping):
+            for cfg in power:
+                out[f"power_{cfg}_total_w"] = ("power", str(cfg), "total_w")
+    return out
+
+
+@dataclass
+class MetricDiff:
+    """One metric's before/after comparison for one spec key."""
+
+    metric: str
+    a_mean: float
+    b_mean: float
+    #: Worst within-log spread (max - min over repeats) across both logs.
+    noise: float
+    n_a: int
+    n_b: int
+    higher_is_better: bool = False
+    gated: bool = True
+
+    @property
+    def delta(self) -> float:
+        return self.b_mean - self.a_mean
+
+    @property
+    def rel_delta(self) -> float:
+        if self.a_mean == 0:
+            return 0.0 if self.delta == 0 else float("inf")
+        return self.delta / abs(self.a_mean)
+
+    def is_regression(self, rel_threshold: float) -> bool:
+        """Does this delta breach the gate?
+
+        A regression must move in the bad direction, exceed the noise
+        band, and exceed ``rel_threshold`` relative to the baseline.
+        """
+        if not self.gated:
+            return False
+        bad = -self.delta if self.higher_is_better else self.delta
+        if bad <= self.noise:
+            return False
+        return abs(self.rel_delta) > rel_threshold
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "a": self.a_mean,
+            "b": self.b_mean,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+            "noise": self.noise,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "gated": self.gated,
+        }
+
+
+@dataclass
+class KeyDiff:
+    """All metric comparisons for one matched spec key."""
+
+    key: SpecKey
+    label: str
+    digests_match: bool
+    metrics: List[MetricDiff] = field(default_factory=list)
+
+    def regressions(self, rel_threshold: float) -> List[MetricDiff]:
+        return [m for m in self.metrics if m.is_regression(rel_threshold)]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "key": dict(zip(KEY_FIELDS, self.key)),
+            "label": self.label,
+            "digests_match": self.digests_match,
+            "metrics": [m.to_json_dict() for m in self.metrics],
+        }
+
+
+@dataclass
+class LogDiff:
+    """Full comparison of two run logs."""
+
+    matched: List[KeyDiff]
+    only_a: List[str]
+    only_b: List[str]
+    rel_threshold: float = 0.05
+
+    def breaches(self) -> List[Tuple[KeyDiff, MetricDiff]]:
+        out = []
+        for kd in self.matched:
+            for md in kd.regressions(self.rel_threshold):
+                out.append((kd, md))
+        return out
+
+    @property
+    def clean(self) -> bool:
+        return not self.breaches()
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "rel_threshold": self.rel_threshold,
+            "clean": self.clean,
+            "matched": [k.to_json_dict() for k in self.matched],
+            "only_a": list(self.only_a),
+            "only_b": list(self.only_b),
+            "breaches": [
+                {"label": kd.label, **md.to_json_dict()}
+                for kd, md in self.breaches()
+            ],
+        }
+
+
+def _group(records: Sequence[Mapping[str, object]]):
+    groups: Dict[SpecKey, List[Mapping[str, object]]] = {}
+    for record in records:
+        if "digest" not in record or "summary" not in record:
+            continue  # malformed / foreign line
+        groups.setdefault(record_key(record), []).append(record)
+    return groups
+
+
+def _stat(
+    records: Sequence[Mapping[str, object]], path: Tuple[str, ...]
+) -> Optional[Tuple[float, float, int]]:
+    """(mean, spread, n) of one metric over a group's repeats."""
+    values = [v for v in (_lookup(r, path) for r in records) if v is not None]
+    if not values:
+        return None
+    return sum(values) / len(values), max(values) - min(values), len(values)
+
+
+def diff_groups(
+    groups_a: Dict[SpecKey, List[Mapping[str, object]]],
+    groups_b: Dict[SpecKey, List[Mapping[str, object]]],
+    rel_threshold: float = 0.05,
+) -> LogDiff:
+    matched: List[KeyDiff] = []
+    for key in sorted(groups_a, key=str):
+        if key not in groups_b:
+            continue
+        recs_a, recs_b = groups_a[key], groups_b[key]
+        label = str(recs_a[0].get("label", key))
+        digests_a = {r.get("digest") for r in recs_a}
+        digests_b = {r.get("digest") for r in recs_b}
+        paths = dict(GATED_METRICS)
+        for name, path in _power_paths(list(recs_a) + list(recs_b)).items():
+            paths[name] = (path, False)
+        kd = KeyDiff(
+            key=key, label=label, digests_match=digests_a == digests_b
+        )
+        for metric, (path, higher_better) in paths.items():
+            stat_a = _stat(recs_a, path)
+            stat_b = _stat(recs_b, path)
+            if stat_a is None or stat_b is None:
+                continue
+            kd.metrics.append(
+                MetricDiff(
+                    metric=metric,
+                    a_mean=stat_a[0],
+                    b_mean=stat_b[0],
+                    noise=max(stat_a[1], stat_b[1]),
+                    n_a=stat_a[2],
+                    n_b=stat_b[2],
+                    higher_is_better=higher_better,
+                )
+            )
+        matched.append(kd)
+    only_a = [
+        str(groups_a[k][0].get("label", k)) for k in sorted(groups_a, key=str)
+        if k not in groups_b
+    ]
+    only_b = [
+        str(groups_b[k][0].get("label", k)) for k in sorted(groups_b, key=str)
+        if k not in groups_a
+    ]
+    return LogDiff(
+        matched=matched, only_a=only_a, only_b=only_b,
+        rel_threshold=rel_threshold,
+    )
+
+
+def diff_runlogs(path_a, path_b, rel_threshold: float = 0.05) -> LogDiff:
+    """Diff two JSONL run logs on disk (see module docstring for rules)."""
+    return diff_groups(
+        _group(read_runlog(path_a)),
+        _group(read_runlog(path_b)),
+        rel_threshold=rel_threshold,
+    )
+
+
+def format_diff(diff: LogDiff) -> str:
+    """Human-readable diff table for the CLI."""
+    lines: List[str] = []
+    if not diff.matched:
+        lines.append("no matching run points between the two logs")
+    for kd in diff.matched:
+        tag = "digests match" if kd.digests_match else "digests differ"
+        lines.append(f"{kd.label}  [{tag}]")
+        for md in kd.metrics:
+            flag = (
+                "  << REGRESSION"
+                if md.is_regression(diff.rel_threshold)
+                else ""
+            )
+            noise = f" (noise band {md.noise:.4g})" if md.noise else ""
+            lines.append(
+                f"  {md.metric:<24} {md.a_mean:>12.4f} -> {md.b_mean:>12.4f}"
+                f"  delta {md.delta:+.4f} ({md.rel_delta:+.2%})"
+                f"{noise}{flag}"
+            )
+    for label in diff.only_a:
+        lines.append(f"only in A: {label}")
+    for label in diff.only_b:
+        lines.append(f"only in B: {label}")
+    n = len(diff.breaches())
+    lines.append(
+        "clean: no gated metric moved beyond noise + "
+        f"{diff.rel_threshold:.0%} threshold"
+        if diff.clean
+        else f"{n} regression(s) beyond noise + {diff.rel_threshold:.0%} threshold"
+    )
+    return "\n".join(lines)

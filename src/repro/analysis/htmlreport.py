@@ -1,0 +1,332 @@
+"""Self-contained HTML diagnosis reports: inline SVG, zero JavaScript.
+
+Renders a :class:`~repro.analysis.diagnose.SweepDiagnosis` into a single
+HTML file that opens anywhere (CI artifact viewers, ``file://``) with no
+external assets:
+
+- **latency decomposition** -- one horizontal stacked bar per load point,
+  segments coloured by breakdown stage in a fixed categorical order with
+  2px surface gaps, plus a legend and the exact numeric table (the bars
+  are the picture; the table is the record);
+- **congestion heatmaps** -- components x time-windows matrices on a
+  single-hue sequential blue ramp (light = idle, dark = saturated), row
+  capped to the busiest components for legibility (the JSON export keeps
+  the full matrix); every cell carries an SVG ``<title>`` so hovering
+  reveals the exact value without any scripting;
+- **verdict banner and knee callout** -- the dominant-bottleneck verdict
+  per point and where the sweep saturated;
+- **self-profile table** -- simulated cycles/sec per phase per point.
+
+Colour use follows one rule per job: categorical hues identify stages
+(fixed assignment, never cycled), the sequential ramp encodes magnitude
+only, and all text wears text colours -- never a series colour.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+from repro.analysis.congestion import Heatmap
+from repro.analysis.diagnose import PointDiagnosis, SweepDiagnosis
+from repro.telemetry.tracer import BREAKDOWN_STAGES
+
+# --------------------------------------------------------------------- #
+# Palette (validated categorical order + single-hue sequential ramp)
+# --------------------------------------------------------------------- #
+
+#: Fixed stage -> colour assignment (categorical slots, never cycled).
+STAGE_COLORS: Dict[str, str] = {
+    "queueing": "#2a78d6",       # blue
+    "token_wait": "#eb6834",     # orange
+    "serialization": "#1baf7a",  # aqua
+    "flight": "#eda100",         # yellow
+    "retx": "#e87ba4",           # magenta
+    "other": "#008300",          # green
+}
+
+STAGE_LABELS: Dict[str, str] = {
+    "queueing": "injection queueing",
+    "token_wait": "token wait",
+    "serialization": "serialization",
+    "flight": "flight",
+    "retx": "retransmission",
+    "other": "switch/other",
+}
+
+#: Sequential blue ramp stops, light -> dark (magnitude only).
+_RAMP = ("#cde2fb", "#74a9e8", "#2a78d6", "#1b4f93", "#0d366b")
+
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_MUTED = "#52514e"
+_GRID = "#e4e3df"
+
+#: Max heatmap rows rendered in HTML (full matrix lives in the JSON).
+HEATMAP_MAX_ROWS = 32
+
+
+def _hex_to_rgb(h: str):
+    return tuple(int(h[i:i + 2], 16) for i in (1, 3, 5))
+
+
+def ramp_color(frac: float) -> str:
+    """Piecewise-linear interpolation along the sequential ramp."""
+    frac = min(1.0, max(0.0, frac))
+    pos = frac * (len(_RAMP) - 1)
+    i = min(int(pos), len(_RAMP) - 2)
+    t = pos - i
+    lo, hi = _hex_to_rgb(_RAMP[i]), _hex_to_rgb(_RAMP[i + 1])
+    rgb = tuple(round(a + (b - a) * t) for a, b in zip(lo, hi))
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+# --------------------------------------------------------------------- #
+# SVG building blocks
+# --------------------------------------------------------------------- #
+
+def stacked_bars_svg(points: Sequence[PointDiagnosis], width: int = 720) -> str:
+    """Horizontal stacked latency-decomposition bars, one per load point."""
+    attributed = [p for p in points if p.attribution is not None]
+    if not attributed:
+        return "<p>No packet breakdown available.</p>"
+    bar_h, gap, left, right = 22, 14, 110, 70
+    vmax = max(p.attribution.overall.total_mean for p in attributed)
+    plot_w = width - left - right
+    height = len(attributed) * (bar_h + gap) + 8
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}"'
+        f' role="img" aria-label="Latency decomposition by stage">'
+    ]
+    for i, p in enumerate(attributed):
+        y = 4 + i * (bar_h + gap)
+        ov = p.attribution.overall
+        parts.append(
+            f'<text x="{left - 8}" y="{y + bar_h - 6}" text-anchor="end"'
+            f' font-size="12" fill="{_INK}">rate {p.rate:g}</text>'
+        )
+        x = float(left)
+        for stage in BREAKDOWN_STAGES:
+            cycles = ov.stages.get(stage, 0.0)
+            w = cycles / vmax * plot_w if vmax else 0.0
+            if w <= 0:
+                continue
+            # 2px surface gap between segments (drawn as per-segment inset).
+            tip = (
+                f"{STAGE_LABELS[stage]}: {cycles:.2f} cycles "
+                f"({ov.share(stage):.1%}) at rate {p.rate:g}"
+            )
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(0.5, w - 2):.1f}"'
+                f' height="{bar_h}" fill="{STAGE_COLORS[stage]}">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+            x += w
+        parts.append(
+            f'<text x="{x + 6:.1f}" y="{y + bar_h - 6}" font-size="12"'
+            f' fill="{_MUTED}">{ov.total_mean:.1f} cyc</text>'
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class="key"><span class="swatch" style="background:'
+        f'{STAGE_COLORS[s]}"></span>{_esc(STAGE_LABELS[s])}</span>'
+        for s in BREAKDOWN_STAGES
+    )
+    return f'<div class="legend">{legend}</div>' + "".join(parts)
+
+
+def heatmap_svg(hm: Heatmap, width: int = 720) -> str:
+    """One congestion heatmap as an SVG cell matrix with hover titles."""
+    shown = hm.top_rows(HEATMAP_MAX_ROWS)
+    if not shown.rows or shown.n_windows == 0:
+        return "<p>No data.</p>"
+    vmax = hm.vmax or 1.0  # scale from the FULL matrix, not the shown rows
+    left, top, cell_h = 120, 18, 14
+    n_win = shown.n_windows
+    cell_w = max(3.0, min(24.0, (width - left - 8) / n_win))
+    height = top + len(shown.rows) * cell_h + 22
+    w_total = left + n_win * cell_w + 8
+    parts = [
+        f'<svg viewBox="0 0 {w_total:.0f} {height}" width="{w_total:.0f}"'
+        f' height="{height}" role="img" aria-label="{_esc(shown.title)}">'
+    ]
+    for r, name in enumerate(shown.components):
+        y = top + r * cell_h
+        parts.append(
+            f'<text x="{left - 6}" y="{y + cell_h - 3}" text-anchor="end"'
+            f' font-size="10" fill="{_INK}">{_esc(name)}</text>'
+        )
+        for w, value in enumerate(shown.rows[r]):
+            if value <= 0:
+                continue  # surface shows through = idle
+            x = left + w * cell_w
+            tip = (
+                f"{name} @ cycles {w * hm.window_cycles}-"
+                f"{(w + 1) * hm.window_cycles - 1}: {value:.3g} {hm.unit}"
+            )
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(0.5, cell_w - 1):.1f}"'
+                f' height="{cell_h - 1}" fill="{ramp_color(value / vmax)}">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+    axis_y = top + len(shown.rows) * cell_h + 14
+    parts.append(
+        f'<text x="{left}" y="{axis_y}" font-size="10" fill="{_MUTED}">'
+        f"cycle 0</text>"
+        f'<text x="{left + n_win * cell_w:.1f}" y="{axis_y}" font-size="10"'
+        f' text-anchor="end" fill="{_MUTED}">cycle {n_win * hm.window_cycles}'
+        f"</text>"
+    )
+    parts.append("</svg>")
+    scale = "".join(
+        f'<span class="swatch" style="background:{ramp_color(f / 4)}"></span>'
+        for f in range(5)
+    )
+    caption = (
+        f'<div class="legend"><span class="key">{_esc(shown.title)} '
+        f"&mdash; {_esc(hm.unit)}, window {hm.window_cycles} cycles</span>"
+        f'<span class="key">0 {scale} {hm.vmax:.3g}</span></div>'
+    )
+    return caption + "".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# Tables + page assembly
+# --------------------------------------------------------------------- #
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _breakdown_table(points: Sequence[PointDiagnosis]) -> str:
+    rows = []
+    for p in points:
+        if p.attribution is None:
+            continue
+        ov = p.attribution.overall
+        rows.append(
+            [f"{p.rate:g}", f"{ov.total_mean:.2f}"]
+            + [f"{ov.stages.get(s, 0.0):.2f}" for s in BREAKDOWN_STAGES]
+            + ["yes" if ov.exact else "no", p.verdict]
+        )
+    headers = (
+        ["offered rate", "latency (cyc)"]
+        + [STAGE_LABELS[s] for s in BREAKDOWN_STAGES]
+        + ["exact sum", "verdict"]
+    )
+    return _table(headers, rows)
+
+
+def _profile_table(points: Sequence[PointDiagnosis]) -> str:
+    rows = []
+    for p in points:
+        prof = p.profile or {}
+        rows.append([
+            f"{p.rate:g}",
+            prof.get("sim_cycles", "-"),
+            prof.get("build_s", "-"),
+            prof.get("sim_s", "-"),
+            prof.get("measure_s", "-"),
+            prof.get("sim_cycles_per_sec", "-"),
+        ])
+    return _table(
+        ["offered rate", "cycles", "build s", "simulate s", "measure s",
+         "cycles/sec"],
+        rows,
+    )
+
+
+def _occupancy_table(points: Sequence[PointDiagnosis]) -> str:
+    classes: List[str] = sorted({
+        c for p in points if p.attribution
+        for c in p.attribution.wireless_occupancy
+    })
+    if not classes:
+        return ""
+    rows = [
+        [f"{p.rate:g}"] + [
+            f"{p.attribution.wireless_occupancy.get(c, 0.0):.3f}"
+            for c in classes
+        ]
+        for p in points if p.attribution
+    ]
+    return (
+        "<h2>Wireless channel occupancy</h2>"
+        + _table(["offered rate"] + [f"{c} busy frac" for c in classes], rows)
+    )
+
+
+_CSS = f"""
+body {{ background: {_SURFACE}; color: {_INK}; margin: 2em auto;
+       max-width: 840px; font: 14px/1.5 system-ui, sans-serif; }}
+h1, h2 {{ font-weight: 600; }}
+h2 {{ margin-top: 1.8em; border-bottom: 1px solid {_GRID};
+      padding-bottom: 4px; }}
+table {{ border-collapse: collapse; margin: 0.8em 0; font-size: 13px;
+         font-variant-numeric: tabular-nums; }}
+th, td {{ padding: 3px 10px; text-align: right; }}
+th {{ color: {_MUTED}; font-weight: 500;
+      border-bottom: 1px solid {_GRID}; }}
+td:first-child, th:first-child {{ text-align: left; }}
+.legend {{ margin: 0.6em 0; color: {_MUTED}; font-size: 12px; }}
+.key {{ margin-right: 1.2em; white-space: nowrap; }}
+.swatch {{ display: inline-block; width: 11px; height: 11px;
+           border-radius: 2px; margin-right: 4px;
+           vertical-align: -1px; }}
+.banner {{ background: #f1efec; border-radius: 6px; padding: 10px 14px;
+           margin: 1em 0; }}
+.muted {{ color: {_MUTED}; }}
+"""
+
+
+def render_sweep_report(diag: SweepDiagnosis, title: str = "") -> str:
+    """The full self-contained HTML page for one diagnosed sweep."""
+    title = title or f"Diagnosis: {diag.topology} / {diag.pattern}"
+    flip = diag.verdict_flip()
+    if flip:
+        banner = (
+            f"Saturation knee at offered rate <b>{flip['at']:g}</b>: "
+            f"dominant bottleneck flips from <b>{_esc(flip['before'])}</b> "
+            f"to <b>{_esc(flip['after'])}</b>."
+        )
+    elif diag.knee is not None:
+        banner = (
+            f"Saturation knee at offered rate <b>{diag.knee:g}</b>; "
+            "dominant bottleneck verdict unchanged across it."
+        )
+    else:
+        banner = "Sweep never saturated within the measured load range."
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<div class="banner">{banner}</div>',
+        "<h2>Latency decomposition by stage</h2>",
+        stacked_bars_svg(diag.points),
+        _breakdown_table(diag.points),
+        _occupancy_table(diag.points),
+    ]
+    heat_sections = []
+    for p in diag.points:
+        for hm in p.heatmaps:
+            heat_sections.append(
+                f'<h3 class="muted">rate {p.rate:g}</h3>' + heatmap_svg(hm)
+            )
+    if heat_sections:
+        sections.append("<h2>Congestion heatmaps</h2>")
+        sections.extend(heat_sections)
+    sections.append("<h2>Simulator self-profile</h2>")
+    sections.append(_profile_table(diag.points))
+    body = "\n".join(s for s in sections if s)
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        f"<meta charset=\"utf-8\"><title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n{body}\n</body></html>\n"
+    )

@@ -223,6 +223,12 @@ class Simulator:
             for hook in self._hooks:
                 hook(self)
 
+        # Periodic buffer-occupancy sampling (congestion heatmaps). Pure
+        # observation -- sampled runs are bit-identical to unsampled ones.
+        if tracer is not None and tracer.sample_every:
+            if now % tracer.sample_every == 0:
+                tracer.on_cycle_sample(now)
+
         # Watchdog: flits buffered but nothing moved for too long -> deadlock.
         if moved:
             self._last_progress = now

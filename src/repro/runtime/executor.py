@@ -49,6 +49,7 @@ class RunResult:
     power: Dict[str, Dict[str, float]] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
+    profile: Dict[str, float] = field(default_factory=dict)
     wall_s: float = 0.0
     cache_hit: bool = False
 
@@ -60,6 +61,7 @@ class RunResult:
             "power": self.power,
             "meta": self.meta,
             "metrics": self.metrics,
+            "profile": self.profile,
             "wall_s": self.wall_s,
         }
 
@@ -75,6 +77,7 @@ class RunResult:
             power={k: dict(v) for k, v in (payload.get("power") or {}).items()},
             meta=dict(payload.get("meta") or {}),
             metrics=dict(payload.get("metrics") or {}),
+            profile=dict(payload.get("profile") or {}),
             wall_s=float(payload.get("wall_s", 0.0)),
             cache_hit=cache_hit,
         )
@@ -229,10 +232,12 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     )
     for hook in hooks:
         sim.add_hook(hook)
+    t_built = time.perf_counter()
     sim.run(spec.cycles)
     drained = True
     if spec.drain:
         drained = sim.drain(spec.drain)
+    t_simulated = time.perf_counter()
 
     summary = dict(sim.stats.summary(spec.cycles))
     summary.update(
@@ -253,6 +258,19 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     if tracer is not None and tracer.enabled:
         tracer.finalize(sim)
         metrics = tracer.metrics_dict()
+    t_end = time.perf_counter()
+    # Simulator self-profiling: per-phase wall time plus the substrate's
+    # own speed (simulated cycles per wall second of pure cycle-loop
+    # time, drain included). Folded into run records so engine perf
+    # regressions surface in `repro diff` next to the physics.
+    sim_s = t_simulated - t_built
+    profile = {
+        "build_s": round(t_built - t0, 4),
+        "sim_s": round(sim_s, 4),
+        "measure_s": round(t_end - t_simulated, 4),
+        "sim_cycles": sim.now,
+        "sim_cycles_per_sec": round(sim.now / sim_s, 1) if sim_s > 0 else None,
+    }
     result = RunResult(
         spec=spec,
         digest=spec.digest(),
@@ -260,7 +278,8 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         power=power,
         meta=meta,
         metrics=metrics,
-        wall_s=time.perf_counter() - t0,
+        profile=profile,
+        wall_s=t_end - t0,
     )
     return built, sim, result
 
@@ -356,7 +375,7 @@ class Executor:
             results[i] = result
             done += 1
             if self.runlog is not None:
-                self.runlog.write(make_record(result))
+                self.runlog.write(make_record(result, engine=self.engine_snapshot()))
             if self.progress is not None:
                 self.progress(done, total, result)
 
@@ -425,6 +444,22 @@ class Executor:
         with ctx.Pool(processes=jobs) as pool:
             outputs = pool.map(_pool_worker, payloads)
         return [RunResult.from_payload(p) for p in outputs]
+
+    def engine_snapshot(self) -> Dict[str, object]:
+        """Flat executor-state counters folded into each run record.
+
+        Surfaces result-cache effectiveness (hit/miss counts at the moment
+        the record is written) so a run log alone answers "did the cache
+        actually serve anything?".
+        """
+        snap: Dict[str, object] = {
+            "runs_executed": self.runs_executed,
+            "runs_from_cache": self.runs_from_cache,
+        }
+        if self.cache is not None:
+            snap["cache_hits"] = self.cache.hits
+            snap["cache_misses"] = self.cache.misses
+        return snap
 
     def stats(self) -> Dict[str, object]:
         out: Dict[str, object] = {

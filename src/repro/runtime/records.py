@@ -7,6 +7,7 @@ streamable, and machine-readable for regression dashboards. Schema::
 
     {
       "ts": 1730000000.0,          # unix time the run finished
+      "schema": 2,                 # record schema version (spec.SCHEMA_VERSION)
       "digest": "ab12...",         # RunSpec content address
       "label": "own256/UN@0.03x1200",
       "topology": "own256",
@@ -17,8 +18,15 @@ streamable, and machine-readable for regression dashboards. Schema::
       "cycles_per_sec": 519.5,     # simulated cycles per wall second
       "summary": {...},            # StatsCollector.summary() + protocol counters
       "metrics": {...},            # telemetry (only when spec.telemetry)
+      "power": {...},              # power breakdowns (only when spec.power)
+      "profile": {...},            # per-phase wall time + sim cycles/sec
+      "engine": {...},             # executor cache/run counters at write time
       "meta": {...}                # network name, core count, ...
     }
+
+Schema history: v1 had none of ``schema``/``power``/``profile``/``engine``;
+:func:`read_runlog` keeps accepting v1 lines (the new keys are additive),
+and ``repro diff`` treats their absent fields as unavailable.
 
 Records are *strict* JSON: every line must parse under ``allow_nan=False``
 consumers. Python's ``json`` would otherwise emit bare ``NaN`` tokens for
@@ -33,7 +41,9 @@ import json
 import math
 import time
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
+
+from repro.runtime.spec import SCHEMA_VERSION
 
 
 def json_safe(value):
@@ -70,12 +80,21 @@ class RunLog:
         self.records_written += 1
 
 
-def make_record(result: "RunResult") -> Dict[str, object]:  # noqa: F821
-    """Build the JSONL record for one executor result."""
+def make_record(
+    result: "RunResult",  # noqa: F821
+    engine: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the JSONL record for one executor result.
+
+    ``engine`` is an optional executor-state snapshot (run and result-cache
+    hit/miss counters at write time) folded in under the ``"engine"`` key
+    so cache effectiveness is visible straight from the log.
+    """
     spec = result.spec
     wall = result.wall_s
     record = {
         "ts": time.time(),
+        "schema": SCHEMA_VERSION,
         "digest": result.digest,
         "label": spec.label(),
         "topology": spec.topology,
@@ -91,6 +110,12 @@ def make_record(result: "RunResult") -> Dict[str, object]:  # noqa: F821
     }
     if result.metrics:
         record["metrics"] = result.metrics
+    if result.power:
+        record["power"] = result.power
+    if result.profile:
+        record["profile"] = result.profile
+    if engine is not None:
+        record["engine"] = engine
     return json_safe(record)
 
 

@@ -26,7 +26,11 @@ from typing import Dict, Mapping, Optional, Tuple
 
 #: Bumped when the result payload layout changes (invalidates the cache
 #: even if no source file changed).
-SCHEMA_VERSION = 1
+#:
+#: v2: results carry a ``profile`` dict (per-phase wall time + simulator
+#: cycles/sec) and run records additionally surface ``power``, ``engine``
+#: cache counters and this schema number (see docs/observability.md).
+SCHEMA_VERSION = 2
 
 _code_fingerprint: Optional[str] = None
 

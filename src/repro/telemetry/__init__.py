@@ -27,6 +27,7 @@ from repro.telemetry.classify import (
     own_channel_classes,
 )
 from repro.telemetry.events import (
+    BUFFER_SAMPLE,
     DEADLOCK,
     DRAIN_END,
     DRAIN_START,
@@ -47,9 +48,11 @@ from repro.telemetry.events import (
 from repro.telemetry.export import chrome_trace, write_chrome_trace
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.telemetry.tracer import BREAKDOWN_STAGES, Tracer
+from repro.telemetry.windows import WINDOW_KINDS, WindowedAggregator
 
 __all__ = [
     "BREAKDOWN_STAGES",
+    "BUFFER_SAMPLE",
     "Counter",
     "DEADLOCK",
     "DRAIN_END",
@@ -71,7 +74,9 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "VC_STALL",
+    "WINDOW_KINDS",
     "WIRELESS_CLASSES",
+    "WindowedAggregator",
     "chrome_trace",
     "infer_channel_classes",
     "link_class",

@@ -29,6 +29,9 @@ Event vocabulary
                    drained).
 ``traffic_resumed``  ``Simulator.resume_traffic`` restored injection.
 ``deadlock``       The watchdog aborted the run.
+``buffer_sample``  Periodic network-state snapshot (``args["occupancy"]``
+                   maps router name -> buffered flits; emitted every
+                   ``Tracer(sample_every=N)`` cycles).
 =================  ====================================================
 """
 
@@ -49,6 +52,7 @@ DRAIN_START = "drain_start"
 DRAIN_END = "drain_end"
 TRAFFIC_RESUMED = "traffic_resumed"
 DEADLOCK = "deadlock"
+BUFFER_SAMPLE = "buffer_sample"
 
 #: Every event type the tracer may emit (export validates against this).
 EVENT_TYPES = (
@@ -65,6 +69,7 @@ EVENT_TYPES = (
     DRAIN_END,
     TRAFFIC_RESUMED,
     DEADLOCK,
+    BUFFER_SAMPLE,
 )
 
 #: Event types rendered as duration spans ("X" phase) in Chrome traces;

@@ -83,24 +83,37 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
-    def percentile(self, q: float) -> Optional[int]:
-        """Upper bound of the bucket holding the ``q``-quantile sample.
+    def percentile(self, q: float) -> Optional[float]:
+        """Rank-interpolated ``q``-quantile estimate.
 
-        ``q`` is in [0, 1]. Exact for the min/max extremes, otherwise
-        quantised to the bucket edge (at most 2x the true value).
+        ``q`` is in [0, 1]. The holding bucket is found by cumulative
+        count, then the estimate interpolates linearly *within* the
+        bucket's value span by rank position (rather than snapping to the
+        bucket upper bound, which systematically over-reported by up to
+        2x). Bucket spans are clamped to the observed ``min``/``max``, so
+        the extremes are exact.
         """
         if not self.count:
             return None
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         target = q * self.count
+        if target <= 0:
+            return float(self.min)
         seen = 0
         for b in sorted(self.buckets):
-            seen += self.buckets[b]
+            n = self.buckets[b]
+            before = seen
+            seen += n
             if seen >= target:
+                lower = (1 << (b - 1)) if b else 0
                 upper = (1 << b) - 1 if b else 0
-                return min(upper, self.max)
-        return self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return float(lower)
+                return lower + (target - before) / n * (upper - lower)
+        return float(self.max)
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Pure combination of two histograms (associative, commutative)."""
@@ -119,6 +132,7 @@ class Histogram:
     def as_dict(self) -> Dict[str, Optional[float]]:
         return {
             "count": self.count,
+            "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.telemetry.classify import infer_channel_classes, link_class
 from repro.telemetry.events import (
+    BUFFER_SAMPLE,
     DEADLOCK,
     DRAIN_END,
     DRAIN_START,
@@ -115,6 +116,17 @@ class Tracer:
     channel_classes:
         Optional ``channel_id -> distance class`` map. When empty it is
         inferred from the network at :meth:`bind` time (OWN topologies).
+    sample_every:
+        If > 0, the simulator calls :meth:`on_cycle_sample` every
+        ``sample_every`` cycles, snapshotting per-router buffer occupancy
+        into a ``buffer_sample`` event (the congestion-heatmap input).
+        ``0`` (default) disables sampling entirely.
+    sinks:
+        Streaming event consumers (see :meth:`add_sink`). Sinks receive
+        *every* event -- even with ``record_events=False`` and past the
+        ``max_events`` buffer cap -- so memory-bounded consumers like
+        :class:`repro.telemetry.windows.WindowedAggregator` can digest
+        arbitrarily long runs without buffering the event list.
     """
 
     def __init__(
@@ -124,11 +136,14 @@ class Tracer:
         collect_metrics: bool = True,
         max_events: int = 1_000_000,
         channel_classes: Optional[Dict[int, str]] = None,
+        sample_every: int = 0,
+        sinks: Optional[List[object]] = None,
     ) -> None:
         self.enabled = enabled
         self.record_events = record_events
         self.collect_metrics = collect_metrics
         self.max_events = max_events
+        self.sample_every = sample_every
         self.events: List[TraceEvent] = []
         self.events_dropped = 0
         #: Total hook invocations -- the counter the "disabled tracing has
@@ -142,6 +157,23 @@ class Tracer:
         self._req_since: Dict["Link", int] = {}
         self._retx_queued: Dict[tuple, int] = {}
         self._finalized = False
+        self._sinks: List[object] = []
+        #: Do the event-emitting branches run at all? True when events are
+        #: buffered or at least one streaming sink wants them.
+        self._eventing = record_events
+        for sink in sinks or ():
+            self.add_sink(sink)
+
+    def add_sink(self, sink: object) -> None:
+        """Attach a streaming consumer (``sink.on_event(TraceEvent)``).
+
+        Sinks see the event stream as it is produced, independent of the
+        ``record_events`` buffer and its ``max_events`` cap. A sink may
+        also define ``on_finalize(tracer, sim)``, called once from
+        :meth:`finalize`.
+        """
+        self._sinks.append(sink)
+        self._eventing = True
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -176,10 +208,14 @@ class Tracer:
         dur: int = 0,
         args: Optional[dict] = None,
     ) -> None:
-        if len(self.events) >= self.max_events:
-            self.events_dropped += 1
-            return
-        self.events.append(TraceEvent(cycle, etype, component, dur, args))
+        ev = TraceEvent(cycle, etype, component, dur, args)
+        if self.record_events:
+            if len(self.events) < self.max_events:
+                self.events.append(ev)
+            else:
+                self.events_dropped += 1
+        for sink in self._sinks:
+            sink.on_event(ev)
 
     # ------------------------------------------------------------------ #
     # Packet lifecycle (Simulator)
@@ -208,7 +244,7 @@ class Tracer:
                     # critical path (earlier hops' serialization overlaps
                     # downstream pipelining), so overwrite rather than sum.
                     pt.serialization = now - pt.head_cycle
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now,
                 FLIT_SEND,
@@ -219,7 +255,7 @@ class Tracer:
 
     def on_flit_delivered(self, endpoint: "Endpoint", flit: "Flit", now: int) -> None:
         self.emits += 1
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, FLIT_RECV, endpoint.name, args={"pid": flit.packet.pid}
             )
@@ -248,7 +284,7 @@ class Tracer:
         hist("pkt_total", cls).observe(total)
         for stage, v in parts.items():
             hist(f"pkt_{stage}", cls).observe(v)
-        if self.record_events:
+        if self._eventing:
             args = dict(parts)
             args.update({"pid": packet.pid, "total": total, "class": cls})
             self._event(now, PACKET_DONE, f"core{packet.dst_core}", args=args)
@@ -267,7 +303,7 @@ class Tracer:
                 pt.token_since = now
             if link not in self._req_since:
                 self._req_since[link] = now
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, TOKEN_REQUEST, medium.name,
                 args={"link": link.name, "pid": packet.pid},
@@ -280,7 +316,7 @@ class Tracer:
             self.metrics.counter("token_wait_cycles", medium.name).add(wait)
             self.metrics.counter("token_grants", medium.name).add(1)
             self.metrics.histogram("token_wait", medium.kind).observe(wait)
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, TOKEN_GRANT, medium.name,
                 args={"link": link.name, "wait": wait},
@@ -296,7 +332,7 @@ class Tracer:
         self.emits += 1
         if self.collect_metrics:
             self.metrics.counter("vc_stall_cycles", f"{port_kind}.{reason}").add(1)
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, VC_STALL, f"r{router.rid}", args={"reason": reason}
             )
@@ -315,7 +351,7 @@ class Tracer:
                 else "sink"
             )
             self.metrics.counter("flit_drops", kind).add(1)
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, FLIT_DROP, endpoint.name,
                 args={"pid": flit.packet.pid, "fate": flit.fate},
@@ -336,7 +372,7 @@ class Tracer:
             if pt is not None:
                 pt.retx_wait += now - queued
             self.metrics.counter("retx_packets", self.class_of(link)).add(1)
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, RETX, link.name,
                 args={"pid": packet.pid, "attempts": attempts},
@@ -346,7 +382,7 @@ class Tracer:
         self.emits += 1
         if self.collect_metrics:
             self.metrics.counter("failovers", self.class_of(link)).add(1)
-        if self.record_events:
+        if self._eventing:
             self._event(now, FAILOVER, link.name)
 
     # ------------------------------------------------------------------ #
@@ -355,7 +391,7 @@ class Tracer:
 
     def on_drain_start(self, now: int, occupancy: int, backlog: int) -> None:
         self.emits += 1
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, DRAIN_START, "sim",
                 args={"occupancy": occupancy, "backlog": backlog},
@@ -365,7 +401,7 @@ class Tracer:
         self, now: int, moved: int, ejected: int, drained: bool
     ) -> None:
         self.emits += 1
-        if self.record_events:
+        if self._eventing:
             self._event(
                 now, DRAIN_END, "sim",
                 args={"moved": moved, "ejected": ejected, "drained": drained},
@@ -373,13 +409,41 @@ class Tracer:
 
     def on_traffic_resumed(self, now: int, restored: bool) -> None:
         self.emits += 1
-        if self.record_events:
+        if self._eventing:
             self._event(now, TRAFFIC_RESUMED, "sim", args={"restored": restored})
 
     def on_deadlock(self, now: int, occupancy: int) -> None:
         self.emits += 1
-        if self.record_events:
+        if self._eventing:
             self._event(now, DEADLOCK, "sim", args={"occupancy": occupancy})
+
+    # ------------------------------------------------------------------ #
+    # Periodic state sampling (Simulator, every ``sample_every`` cycles)
+    # ------------------------------------------------------------------ #
+
+    def on_cycle_sample(self, now: int) -> None:
+        """Snapshot per-router buffer occupancy into a ``buffer_sample``.
+
+        Pure observation: reads router occupancy counters, never touches
+        simulation state, so sampled runs stay bit-identical to unsampled
+        ones. Only routers with buffered flits appear in the snapshot.
+        """
+        self.emits += 1
+        sim = self.sim
+        if sim is None:
+            return
+        occ: Dict[str, int] = {}
+        for router in sim.network.routers:
+            n = router.occupancy()
+            if n:
+                occ[f"r{router.rid}"] = n
+        if self._eventing:
+            self._event(now, BUFFER_SAMPLE, "sim", args={"occupancy": occ})
+        if self.collect_metrics:
+            self.metrics.counter("buffer_samples").add(1)
+            self.metrics.histogram("buffer_occupancy").observe(
+                sum(occ.values())
+            )
 
     # ------------------------------------------------------------------ #
     # Finalization
@@ -393,9 +457,15 @@ class Tracer:
         links' own activity counters than to sample per cycle. Idempotent.
         """
         sim = sim or self.sim
-        if self._finalized or sim is None or not self.collect_metrics:
+        if self._finalized or sim is None:
             return
         self._finalized = True
+        for sink in self._sinks:
+            on_finalize = getattr(sink, "on_finalize", None)
+            if on_finalize is not None:
+                on_finalize(self, sim)
+        if not self.collect_metrics:
+            return
         elapsed = max(1, sim.now)
         counter = self.metrics.counter
         gauge = self.metrics.gauge

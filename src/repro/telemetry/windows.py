@@ -1,0 +1,124 @@
+"""Time-windowed aggregation of the trace-event stream.
+
+The :class:`WindowedAggregator` is a streaming :class:`Tracer` sink: it
+folds every event into fixed-width cycle windows as it is produced, so
+memory scales with ``components x windows`` instead of with the event
+count. This is the input layer for congestion heatmaps
+(:mod:`repro.analysis.congestion`) -- the tracer can run in metrics-only
+mode (``record_events=False``) and the aggregator still sees the stream.
+
+Aggregated channels, keyed ``(kind, component)``:
+
+``link_busy``    serialization cycles spent on each link per window
+                 (from ``flit_send``; divide by the window width for an
+                 occupancy fraction in [0, 1])
+``token_wait``   request->grant wait cycles charged to each shared
+                 medium per window (from ``token_grant``)
+``vc_stall``     stalled-VC observations per router per window
+``buffer_occ``   mean buffered flits per router per window (from the
+                 simulator's periodic ``buffer_sample`` snapshots;
+                 requires ``Tracer(sample_every=N)``)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.telemetry.events import (
+    BUFFER_SAMPLE,
+    FLIT_SEND,
+    TOKEN_GRANT,
+    VC_STALL,
+    TraceEvent,
+)
+
+#: Aggregation kinds a :class:`WindowedAggregator` produces.
+WINDOW_KINDS = ("link_busy", "token_wait", "vc_stall", "buffer_occ")
+
+
+class WindowedAggregator:
+    """Streaming per-window accumulator over a tracer's event stream.
+
+    Parameters
+    ----------
+    window_cycles:
+        Width of one aggregation window in cycles (must be >= 1).
+
+    Each cell keeps ``(sum, n_samples)`` so both totals (busy cycles)
+    and means (sampled occupancy) fall out of the same structure.
+    """
+
+    def __init__(self, window_cycles: int = 64) -> None:
+        if window_cycles < 1:
+            raise ValueError(f"window_cycles must be >= 1, got {window_cycles}")
+        self.window_cycles = window_cycles
+        self.events_seen = 0
+        self.last_cycle = 0
+        # (kind, component) -> {window_index: [sum, n]}
+        self._cells: Dict[Tuple[str, str], Dict[int, List[float]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sink protocol
+    # ------------------------------------------------------------------ #
+
+    def _add(self, kind: str, component: str, window: int, value: float) -> None:
+        series = self._cells.get((kind, component))
+        if series is None:
+            series = self._cells[(kind, component)] = {}
+        cell = series.get(window)
+        if cell is None:
+            series[window] = [value, 1]
+        else:
+            cell[0] += value
+            cell[1] += 1
+
+    def on_event(self, ev: TraceEvent) -> None:
+        self.events_seen += 1
+        if ev.cycle > self.last_cycle:
+            self.last_cycle = ev.cycle
+        window = ev.cycle // self.window_cycles
+        etype = ev.etype
+        if etype == FLIT_SEND:
+            self._add("link_busy", ev.component, window, max(1, ev.dur))
+        elif etype == TOKEN_GRANT:
+            wait = (ev.args or {}).get("wait", 0)
+            self._add("token_wait", ev.component, window, wait)
+        elif etype == VC_STALL:
+            self._add("vc_stall", ev.component, window, 1)
+        elif etype == BUFFER_SAMPLE:
+            for component, occ in ((ev.args or {}).get("occupancy") or {}).items():
+                self._add("buffer_occ", component, window, occ)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def kinds(self) -> List[str]:
+        """Aggregation kinds that saw at least one event."""
+        present = {kind for kind, _ in self._cells}
+        return [k for k in WINDOW_KINDS if k in present]
+
+    def components(self, kind: str) -> List[str]:
+        """Components with data under ``kind``, in name order."""
+        return sorted(c for k, c in self._cells if k == kind)
+
+    def n_windows(self) -> int:
+        """Window count covering every cycle seen so far."""
+        return self.last_cycle // self.window_cycles + 1
+
+    def series(self, kind: str, component: str, mean: bool = False) -> List[float]:
+        """One component's dense per-window values (0.0 for empty windows).
+
+        ``mean=True`` divides each window's sum by its sample count --
+        the right reading for sampled gauges like ``buffer_occ``.
+        """
+        cells = self._cells.get((kind, component), {})
+        out = [0.0] * self.n_windows()
+        for window, (total, n) in cells.items():
+            out[window] = total / n if mean else total
+        return out
+
+    def matrix(self, kind: str, mean: bool = False) -> Tuple[List[str], List[List[float]]]:
+        """All components' series under ``kind`` as ``(names, rows)``."""
+        names = self.components(kind)
+        return names, [self.series(kind, name, mean=mean) for name in names]

@@ -112,3 +112,45 @@ class TestStrictJson:
         assert record["metrics"] == {"wireless_occupancy[C2C]": 0.25}
         # No telemetry -> no metrics key (keeps old records byte-compatible).
         assert "metrics" not in make_record(_result())
+
+
+class TestSchemaV2Fields:
+    def test_schema_version_stamped(self):
+        from repro.runtime import SCHEMA_VERSION
+
+        assert make_record(_result())["schema"] == SCHEMA_VERSION
+
+    def test_optional_sections_absent_when_empty(self):
+        rec = make_record(_result())
+        for key in ("power", "profile", "engine", "metrics"):
+            assert key not in rec
+
+    def test_power_profile_engine_folded_in(self):
+        result = _result()
+        result.power = {"cfg4_s1": {"total_w": 9.5}}
+        result.profile = {"build_s": 0.2, "sim_s": 1.1,
+                          "sim_cycles": 300, "sim_cycles_per_sec": 272.7}
+        engine = {"runs_executed": 3, "runs_from_cache": 1,
+                  "cache_hits": 1, "cache_misses": 3}
+        rec = make_record(result, engine=engine)
+        assert rec["power"]["cfg4_s1"]["total_w"] == 9.5
+        assert rec["profile"]["sim_cycles"] == 300
+        assert rec["engine"] == engine
+
+    def test_executor_records_carry_profile_and_engine(self, tmp_path):
+        from repro.runtime import Executor
+
+        spec = RunSpec.create("cmesh", rate=0.02, cycles=120,
+                              topology_kwargs={"n_cores": 64})
+        log = tmp_path / "runs.jsonl"
+        ex = Executor(runlog=str(log), cache=str(tmp_path / "cache"))
+        ex.run_one(spec)
+        ex.run_one(spec)  # cache hit
+        (first, second) = read_runlog(log)
+        assert first["profile"]["sim_cycles"] == 120
+        assert first["profile"]["sim_cycles_per_sec"] > 0
+        assert first["engine"]["cache_misses"] == 1
+        assert second["cache_hit"] is True
+        assert second["engine"]["cache_hits"] == 1
+        # Cache hits replay the stored profile of the original run.
+        assert second["profile"]["sim_cycles"] == 120

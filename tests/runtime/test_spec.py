@@ -88,9 +88,11 @@ class TestDigest:
         assert code_fingerprint() == "someotherversion"
         assert self.make().digest() != base
 
-    def test_schema_version_is_one(self):
+    def test_schema_version_is_two(self):
         # Bumping SCHEMA_VERSION invalidates every cache: make it deliberate.
-        assert SCHEMA_VERSION == 1
+        # v2 (deliberate): result payloads grew the ``profile`` dict and run
+        # records surface power/engine counters (docs/observability.md).
+        assert SCHEMA_VERSION == 2
 
 
 class TestRoundTrip:

@@ -159,3 +159,62 @@ class TestMetricRegistry:
         a.gauge("g").set(1.0)
         b.gauge("g").set(2.0)
         assert a.merge(b).gauge("g").value == 2.0
+
+
+class TestPercentileInterpolation:
+    """The estimator interpolates within buckets instead of snapping to
+    the bucket upper bound (which over-reported by up to 2x)."""
+
+    def test_single_value_all_quantiles_exact(self):
+        h = Histogram()
+        for _ in range(10):
+            h.observe(40)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert h.percentile(q) == 40.0
+
+    def test_extremes_are_exact(self):
+        h = Histogram()
+        for v in (3, 9, 17, 250):
+            h.observe(v)
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(1.0) == 250.0
+
+    def test_uniform_median_within_quarter_bucket(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        # True median 50 sits in bucket 6 = [32, 63]; rank interpolation
+        # lands near it instead of snapping to 63 (old behaviour) or 64+.
+        assert abs(h.percentile(0.5) - 50) <= 8
+
+    def test_monotone_in_q(self):
+        rng = random.Random(17)
+        h = Histogram()
+        for _ in range(500):
+            h.observe(rng.randrange(0, 1000))
+        qs = [i / 20 for i in range(21)]
+        ps = [h.percentile(q) for q in qs]
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+    def test_never_exceeds_observed_range(self):
+        rng = random.Random(3)
+        h = Histogram()
+        for _ in range(200):
+            h.observe(rng.randrange(5, 300))
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert h.min <= h.percentile(q) <= h.max
+
+    def test_zeros_bucket(self):
+        h = Histogram()
+        for _ in range(4):
+            h.observe(0)
+        h.observe(2)
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 2.0
+
+    def test_as_dict_exposes_total(self):
+        h = Histogram()
+        h.observe(7)
+        h.observe(9)
+        d = h.as_dict()
+        assert d["total"] == 16 and d["count"] == 2

@@ -154,3 +154,102 @@ class TestTelemetryFlags:
         assert main(self.OWN_ARGS + ["--metrics"]) == 0
         metered = capsys.readouterr().out
         assert metered == plain
+
+
+class TestDiffCommand:
+    SWEEP = [
+        "sweep", "cmesh256", "--rates", "0.01,0.02", "--cycles", "200",
+        "--warmup", "50",
+    ]
+
+    def make_log(self, path, capsys):
+        assert main(self.SWEEP + ["--metrics", "--runlog", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_identical_seed_logs_diff_clean(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.make_log(a, capsys)
+        self.make_log(b, capsys)
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "digests match" in out
+        assert "clean" in out
+        assert "+0.0000" in out and "REGRESSION" not in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.make_log(a, capsys)
+        records = [json.loads(l) for l in a.read_text().splitlines()]
+        for r in records:
+            r["summary"]["latency_mean"] *= 1.5
+        b.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A generous threshold lets the same delta through.
+        assert main(["diff", str(a), str(b), "--threshold", "0.6"]) == 0
+        capsys.readouterr()
+
+    def test_json_dump(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.jsonl"
+        self.make_log(a, capsys)
+        out = tmp_path / "diff.json"
+        assert main(["diff", str(a), str(a), "--json", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["clean"] is True
+        assert len(payload["matched"]) == 2
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self.make_log(a, capsys)
+        assert main(["diff", str(a), str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+
+    def test_disjoint_logs_error_unless_allowed(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.make_log(a, capsys)
+        b.write_text("")
+        assert main(["diff", str(a), str(b)]) == 2
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--allow-unmatched"]) == 0
+        capsys.readouterr()
+
+
+class TestReportAnalyze:
+    def test_analyze_writes_html_and_json(self, tmp_path, capsys):
+        import json
+
+        html_out = tmp_path / "diag.html"
+        json_out = tmp_path / "diag.json"
+        rc = main([
+            "report", "--analyze", "cmesh256", "--rates", "0.01,0.04",
+            "--cycles", "200", "--warmup", "50",
+            "-o", str(html_out), "--json", str(json_out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "verdict" in captured.err
+        html = html_out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        payload = json.loads(json_out.read_text())
+        assert [p["rate"] for p in payload["points"]] == [0.01, 0.04]
+        assert payload["points"][0]["attribution"]["overall"]["exact"] is True
+
+
+class TestCacheCounters:
+    def test_hits_and_misses_surface_in_engine_line(self, tmp_path, capsys):
+        args = [
+            "sweep", "cmesh256", "--rates", "0.01,0.02", "--cycles", "200",
+            "--warmup", "50", "--cache", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().err
+        assert "[0 hits / 2 misses]" in first
+        assert main(args) == 0
+        second = capsys.readouterr().err
+        assert "[2 hits / 0 misses]" in second
