@@ -23,6 +23,14 @@ Compared metrics: mean/p99 latency, accepted throughput, and per-config
 power totals when both records carry them (v1 records without ``power``
 simply skip that row). The simulator's self-profile (wall-clock speed) is
 machine-dependent and intentionally **never** gated.
+
+**Empty vs missing** -- a JSON ``null`` under a metric path is the
+collector's explicit *n=0 sentinel* (a run that completed zero measured
+packets), which is a different fact from the path being absent (older
+record schema). Absent paths are skipped for compatibility; a null on
+exactly one side of a matched key is an *empty-vs-populated mismatch* and
+always gates as a regression -- a run that silently stopped delivering
+packets must not diff clean just because there were no numbers to compare.
 """
 
 from __future__ import annotations
@@ -50,13 +58,21 @@ def record_key(record: Mapping[str, object]) -> SpecKey:
     return tuple(record.get(f) for f in KEY_FIELDS)
 
 
-def _lookup(record: Mapping[str, object], path: Tuple[str, ...]) -> Optional[float]:
+#: Sentinel distinguishing "path absent from the record" from an explicit
+#: JSON ``null`` (which :meth:`StatsCollector.summary` emits for empty
+#: measurement windows). ``None`` is reserved for the latter.
+_MISSING = object()
+
+
+def _lookup(record: Mapping[str, object], path: Tuple[str, ...]) -> object:
     node: object = record
     for part in path:
         if not isinstance(node, Mapping) or part not in node:
-            return None
+            return _MISSING
         node = node[part]
-    return float(node) if isinstance(node, (int, float)) else None
+    if node is None:
+        return None
+    return float(node) if isinstance(node, (int, float)) else _MISSING
 
 
 def _power_paths(records: Sequence[Mapping[str, object]]) -> Dict[str, Tuple[str, ...]]:
@@ -83,6 +99,10 @@ class MetricDiff:
     n_b: int
     higher_is_better: bool = False
     gated: bool = True
+    #: Exactly one side carried the explicit n=0 sentinel (null metric)
+    #: while the other had data. The empty side's mean is a 0.0
+    #: placeholder, never NaN (records are JSON; NaN is not).
+    empty_mismatch: bool = False
 
     @property
     def delta(self) -> float:
@@ -102,6 +122,11 @@ class MetricDiff:
         """
         if not self.gated:
             return False
+        if self.empty_mismatch:
+            # One side has zero samples where the other has data: a
+            # qualitative change (a run stopped delivering packets, or
+            # started) that no numeric threshold may wave through.
+            return True
         bad = -self.delta if self.higher_is_better else self.delta
         if bad <= self.noise:
             return False
@@ -118,6 +143,7 @@ class MetricDiff:
             "n_a": self.n_a,
             "n_b": self.n_b,
             "gated": self.gated,
+            "empty_mismatch": self.empty_mismatch,
         }
 
 
@@ -188,10 +214,21 @@ def _group(records: Sequence[Mapping[str, object]]):
 def _stat(
     records: Sequence[Mapping[str, object]], path: Tuple[str, ...]
 ) -> Optional[Tuple[float, float, int]]:
-    """(mean, spread, n) of one metric over a group's repeats."""
-    values = [v for v in (_lookup(r, path) for r in records) if v is not None]
-    if not values:
+    """(mean, spread, n_valid) of one metric over a group's repeats.
+
+    Returns ``None`` only when the path is absent from *every* record
+    (pre-sentinel schema: the metric was never recorded -- skipped, not
+    compared). Explicit JSON nulls (the collector's n=0 sentinel) count
+    as present-but-empty: with no numeric values at all the mean and
+    spread are 0.0 placeholders and ``n_valid`` is 0, which the caller
+    turns into an empty-vs-populated mismatch.
+    """
+    found = [v for v in (_lookup(r, path) for r in records) if v is not _MISSING]
+    if not found:
         return None
+    values = [v for v in found if v is not None]
+    if not values:
+        return 0.0, 0.0, 0
     return sum(values) / len(values), max(values) - min(values), len(values)
 
 
@@ -218,7 +255,10 @@ def diff_groups(
             stat_a = _stat(recs_a, path)
             stat_b = _stat(recs_b, path)
             if stat_a is None or stat_b is None:
-                continue
+                continue  # metric absent from a side (old schema): skip
+            empty_a, empty_b = stat_a[2] == 0, stat_b[2] == 0
+            if empty_a and empty_b:
+                continue  # n=0 sentinel on both sides: nothing to compare
             kd.metrics.append(
                 MetricDiff(
                     metric=metric,
@@ -228,6 +268,7 @@ def diff_groups(
                     n_a=stat_a[2],
                     n_b=stat_b[2],
                     higher_is_better=higher_better,
+                    empty_mismatch=empty_a != empty_b,
                 )
             )
         matched.append(kd)
@@ -263,6 +304,13 @@ def format_diff(diff: LogDiff) -> str:
         tag = "digests match" if kd.digests_match else "digests differ"
         lines.append(f"{kd.label}  [{tag}]")
         for md in kd.metrics:
+            if md.empty_mismatch:
+                side = "A" if md.n_a == 0 else "B"
+                lines.append(
+                    f"  {md.metric:<24} EMPTY on side {side}"
+                    f" (n_a={md.n_a}, n_b={md.n_b})  << REGRESSION"
+                )
+                continue
             flag = (
                 "  << REGRESSION"
                 if md.is_regression(diff.rel_threshold)

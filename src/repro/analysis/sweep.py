@@ -92,6 +92,7 @@ def point_spec(
     warmup: int = 400,
     packet_size: int = 4,
     seed: int = 3,
+    dense: bool = False,
 ) -> Optional[RunSpec]:
     """The :class:`RunSpec` for one sweep point (``None`` for opaque callables)."""
     ref = builder if not callable(builder) else ref_for_callable(builder)
@@ -107,6 +108,7 @@ def point_spec(
         packet_size=packet_size,
         seed=seed,
         topology_kwargs=kwargs,
+        dense=dense,
     )
 
 
@@ -203,6 +205,7 @@ def load_sweep(
     stop_at_saturation: bool = True,
     name: Optional[str] = None,
     executor: Optional[Executor] = None,
+    dense: bool = False,
 ) -> SweepResult:
     """Sweep offered load; optionally stop once clearly saturated.
 
@@ -210,9 +213,13 @@ def load_sweep(
     and the stop rule is applied to the assembled points -- the kept
     points are identical to a serial early-stopped sweep, the extra
     post-saturation points are simply discarded (and live on in the cache).
+
+    ``dense`` disables the simulator's idle fast-forward for every point
+    (bit-identical results either way; CI uses it to prove exactly that).
     """
     specs = [
-        point_spec(builder, pattern, rate, cycles, warmup, packet_size, seed)
+        point_spec(builder, pattern, rate, cycles, warmup, packet_size, seed,
+                   dense=dense)
         for rate in rates
     ]
 

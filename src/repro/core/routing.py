@@ -91,11 +91,18 @@ class OwnRoutingBase(RoutingFunction):
         self.dims = dims
         self.photonic_port = photonic_port
         self.wireless_port = wireless_port
+        # rid -> (g, c, t) memo: router coordinates are static, and the
+        # divmod arithmetic in router_to_gct dominates route computation on
+        # kilo-core hot paths.
+        self._gct_cache: Dict[int, Tuple[int, int, int]] = {}
 
     # -- helpers ------------------------------------------------------- #
 
     def _gct(self, rid: int) -> Tuple[int, int, int]:
-        return self.dims.router_to_gct(rid)
+        gct = self._gct_cache.get(rid)
+        if gct is None:
+            gct = self._gct_cache[rid] = self.dims.router_to_gct(rid)
+        return gct
 
     def _dst_rid(self, packet) -> int:
         return self.net.core_router[packet.dst_core]

@@ -72,6 +72,15 @@ class FaultCampaign:
     def is_empty(self) -> bool:
         return not self._actions
 
+    def next_cycle(self, start: int) -> Optional[int]:
+        """Earliest cycle >= ``start`` with pending actions, if any.
+
+        The simulator's fast-forward uses this as a wake source so a clock
+        skip never jumps over a scheduled fault action.
+        """
+        future = [c for c in self._actions if c >= start]
+        return min(future) if future else None
+
     def last_cycle(self) -> int:
         """Cycle after which the campaign has no further effect."""
         return max(self._actions) if self._actions else 0

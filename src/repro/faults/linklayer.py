@@ -44,6 +44,10 @@ from repro.utils.rng import RngStreams
 from repro.faults.campaign import FaultCampaign
 from repro.faults.models import CORRUPT, LOST, LinkFaultState, Target
 
+
+def _link_name(link: Link) -> str:
+    return link.name
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import Flit, Packet
     from repro.noc.simulator import Simulator
@@ -339,9 +343,24 @@ class FaultLayer:
         if not self._active:
             return 0
         moved = 0
-        for link in list(self._active):
+        # Sorted by link name: service order is observable (two links can
+        # recover packets into the same NI queue), and id-based set order
+        # would differ between otherwise identical simulations.
+        for link in sorted(self._active, key=_link_name):
             moved += self._service(sim, link, now)
         return moved
+
+    def next_action_cycle(self, start: int) -> Optional[int]:
+        """Earliest campaign action cycle >= ``start`` (fast-forward wake).
+
+        Only the *campaign schedule* needs surfacing here: all other
+        protocol activity (timeouts, backoffs, replays) keeps ``_active``
+        non-empty, which already pins the simulator to dense stepping via
+        :meth:`pending_work`.
+        """
+        if self.campaign is None:
+            return None
+        return self.campaign.next_cycle(start)
 
     def pending_work(self) -> bool:
         """Protocol state that must settle before a drain can finish.
@@ -523,7 +542,7 @@ class FaultLayer:
         the retired channel.
         """
         ni = self.network.interfaces[self._reentry_core(link, packet)]
-        ni.queue.extend(packet.make_flits())
+        ni.requeue_flits(packet.make_flits())
         self.sim.stats.packets_recovered += 1
         self.sim.stats.flits_retransmitted += packet.size_flits
         link.fault.recovered += 1

@@ -42,7 +42,17 @@ class VirtualChannel:
         simulator-invariant check.
     """
 
-    __slots__ = ("index", "depth", "queue", "state", "out_port", "out_vc", "endpoint")
+    __slots__ = (
+        "index",
+        "depth",
+        "queue",
+        "state",
+        "out_port",
+        "out_vc",
+        "endpoint",
+        "cand_endpoint",
+        "cand_vcs",
+    )
 
     def __init__(self, index: int, depth: int) -> None:
         if depth < 1:
@@ -55,6 +65,12 @@ class VirtualChannel:
         self.out_port: Optional[int] = None  # output port index at this router
         self.out_vc: Optional[int] = None  # allocated VC at the downstream input
         self.endpoint = None  # repro.noc.links.Endpoint resolved for this packet
+        # VCA candidates cached at RC time: both the downstream endpoint and
+        # the admissible VC set are static per (router, out_port, packet), so
+        # a VC blocked in WAITING_VC re-polls these instead of re-running the
+        # routing function every cycle.
+        self.cand_endpoint = None
+        self.cand_vcs: Optional[tuple] = None
 
     @property
     def occupied(self) -> bool:
@@ -89,6 +105,8 @@ class VirtualChannel:
         self.out_port = None
         self.out_vc = None
         self.endpoint = None
+        self.cand_endpoint = None
+        self.cand_vcs = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

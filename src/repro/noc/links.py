@@ -27,10 +27,14 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.noc.arbiters import RoundRobinArbiter
+from repro.noc.buffers import VCState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.packet import Flit, Packet
     from repro.noc.router import Router
+
+#: Hot-path alias for the SA-waiter staleness guard in ``try_grant``.
+_VC_ACTIVE = VCState.ACTIVE
 
 #: Link technology kinds; power accounting keys off these strings.
 ELECTRICAL = "electrical"
@@ -66,6 +70,8 @@ class Endpoint:
         "vc_busy",
         "is_sink",
         "name",
+        "vca_waiters",
+        "vca_credit_waiters",
     )
 
     def __init__(
@@ -85,6 +91,16 @@ class Endpoint:
         self.vc_busy: List[bool] = [False] * num_vcs
         self.is_sink = is_sink
         self.name = name
+        #: Upstream VC-allocation requests parked on this endpoint:
+        #: ``(router, (in_port, vc))`` pairs that failed VCA and wait for
+        #: this endpoint's state to change before re-entering the upstream
+        #: router's ``_vca_pending`` set (see Router.stage_vca).
+        #: ``vca_waiters`` re-arms on a VC release (every parked request may
+        #: become grantable when a VC frees up); ``vca_credit_waiters``
+        #: additionally re-arms on credit returns (only requests that saw a
+        #: free-but-underfunded VC can be unblocked by a credit alone).
+        self.vca_waiters: List[tuple] = []
+        self.vca_credit_waiters: List[tuple] = []
 
     def has_credit(self, vc: int) -> bool:
         return self.is_sink or self.credits[vc] > 0
@@ -124,6 +140,11 @@ class Endpoint:
         if self.is_sink:
             return
         self.credits[vc] += 1
+        waiters = self.vca_credit_waiters
+        if waiters:
+            for router, key in waiters:
+                router._vca_pending.add(key)
+            waiters.clear()
 
     def acquire_vc(self, vc: int) -> None:
         if self.is_sink:
@@ -136,6 +157,18 @@ class Endpoint:
         if self.is_sink:
             return
         self.vc_busy[vc] = False
+        # A freed VC can unblock every parked request, whichever resource
+        # it was short of (the freed VC may have credits to spare).
+        waiters = self.vca_waiters
+        if waiters:
+            for router, key in waiters:
+                router._vca_pending.add(key)
+            waiters.clear()
+        waiters = self.vca_credit_waiters
+        if waiters:
+            for router, key in waiters:
+                router._vca_pending.add(key)
+            waiters.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Endpoint({self.name or (self.router, self.in_port)}, sink={self.is_sink})"
@@ -182,6 +215,8 @@ class SharedMedium:
         "token_wait_cycles",
         "blocked_until",
         "token_losses",
+        "index",
+        "_wake",
     )
 
     def __init__(
@@ -222,6 +257,13 @@ class SharedMedium:
         self.flits_carried = 0
         self.grants = 0
         self.token_wait_cycles = 0
+        # Deterministic arbitration-phase ordering: assigned by the owning
+        # Network at registration time (-1 until then).
+        self.index = -1
+        # Scheduler callback: invoked with ``self`` when the request set
+        # becomes non-empty so the simulator re-registers this medium in
+        # its active set.
+        self._wake: Optional[Callable[["SharedMedium"], None]] = None
 
     def register(self, link: "Link") -> None:
         self.member_index[link] = len(self.members)
@@ -230,6 +272,8 @@ class SharedMedium:
 
     def note_request(self, link: "Link") -> None:
         """A packet on ``link`` finished VCA and now wants the token."""
+        if not self.requesters and self._wake is not None:
+            self._wake(self)
         self.requesters.add(link)
 
     def drop_request(self, link: "Link") -> None:
@@ -263,6 +307,18 @@ class SharedMedium:
         self.grant_at = now + self.arb_latency
         self.grants += 1
         self.token_wait_cycles += self.arb_latency
+        waiters = best_link.sa_token_waiters
+        if waiters:
+            # Re-arm VCs that parked while the token was elsewhere. Grants
+            # run before switch allocation, so a re-armed VC is polled the
+            # same cycle it could first transmit -- bit-identical to dense
+            # per-cycle polling. The state/queue guard drops entries made
+            # stale by fault handling (drops / re-routes).
+            for router, key in waiters:
+                vc = router.input_ports[key[0]].vcs[key[1]]
+                if vc.state is _VC_ACTIVE and vc.queue:
+                    router._sa_active.add(key)
+            del waiters[:]
         return best_link
 
     def arbitrate(self, now: int, requesting: Sequence[bool]) -> None:
@@ -357,6 +413,7 @@ class Link:
         "fault",
         "channel_id",
         "pending_requests",
+        "sa_token_waiters",
     )
 
     def __init__(
@@ -411,6 +468,12 @@ class Link:
         # maintained by the router (VCA / tail transmit) to drive the shared
         # medium's request set.
         self.pending_requests = 0
+        # ACTIVE VCs parked here by stage_sa while another link holds the
+        # medium token; flushed back into their router's SA work set when
+        # this link is granted (see SharedMedium.try_grant). Only used when
+        # no tracer is attached -- with a tracer the router keeps polling so
+        # the per-cycle stall record stream is preserved.
+        self.sa_token_waiters: List[tuple] = []
         if medium is not None:
             medium.register(self)
 

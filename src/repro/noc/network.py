@@ -43,7 +43,15 @@ class NetworkInterface:
     body, release on tail) exactly like a link writer would.
     """
 
-    __slots__ = ("core", "endpoint", "queue", "current_vc", "flits_injected", "packets_queued")
+    __slots__ = (
+        "core",
+        "endpoint",
+        "queue",
+        "current_vc",
+        "flits_injected",
+        "packets_queued",
+        "_wake",
+    )
 
     def __init__(self, core: int, endpoint: Endpoint) -> None:
         self.core = core
@@ -52,34 +60,61 @@ class NetworkInterface:
         self.current_vc: Optional[int] = None
         self.flits_injected = 0
         self.packets_queued = 0
+        # Scheduler callback: invoked with ``self`` on the empty->backlogged
+        # transition so the simulator re-registers this NI in its active set.
+        self._wake: Optional[Callable[["NetworkInterface"], None]] = None
 
     def enqueue_packet(self, packet: Packet) -> None:
+        if not self.queue and self._wake is not None:
+            self._wake(self)
         self.queue.extend(packet.make_flits())
         self.packets_queued += 1
 
+    def requeue_flits(self, flits: Sequence[Flit]) -> None:
+        """Re-enter recovered flits (link-layer retransmission fallback).
+
+        Same as :meth:`enqueue_packet` for scheduler purposes but without
+        counting a new queued packet -- the packet was already accounted at
+        first injection.
+        """
+        if not self.queue and self._wake is not None:
+            self._wake(self)
+        self.queue.extend(flits)
+
     def pump(self, now: int) -> int:
         """Move up to one flit per cycle into the router; return flits moved."""
-        if not self.queue:
+        queue = self.queue
+        if not queue:
             return 0
         endpoint = self.endpoint
-        flit = self.queue[0]
-        if flit.is_head and self.current_vc is None:
+        credits = endpoint.credits
+        flit = queue[0]
+        vc = self.current_vc
+        if vc is None:
+            if not flit.is_head:
+                return 0
             # Claim a free input VC with room for the whole packet (virtual
-            # cut-through admission, mirroring router-side VC allocation).
+            # cut-through admission, mirroring router-side VC allocation;
+            # Endpoint.can_accept_packet inlined, its can-never-fit guard
+            # hoisted out of the per-VC scan).
+            size = flit.packet.size_flits
+            if size > endpoint.vc_depth:
+                raise ValueError(
+                    f"packet of {size} flits can never fit VC depth "
+                    f"{endpoint.vc_depth} at {endpoint.name or 'endpoint'}"
+                )
+            vc_busy = endpoint.vc_busy
             for v in range(endpoint.num_vcs):
-                if not endpoint.vc_busy[v] and endpoint.can_accept_packet(
-                    v, flit.packet.size_flits
-                ):
-                    endpoint.acquire_vc(v)
-                    self.current_vc = v
+                if not vc_busy[v] and credits[v] >= size:
+                    vc_busy[v] = True  # Endpoint.acquire_vc, inlined
+                    self.current_vc = vc = v
                     break
             else:
                 return 0
-        vc = self.current_vc
-        if vc is None or not endpoint.has_credit(vc):
+        elif credits[vc] <= 0:
             return 0
-        self.queue.popleft()
-        endpoint.take_credit(vc)
+        queue.popleft()
+        credits[vc] -= 1  # Endpoint.take_credit, inlined (credit > 0 above)
         endpoint.router.deliver_flit(endpoint.in_port, vc, flit)
         self.flits_injected += 1
         if flit.is_head:
@@ -218,7 +253,7 @@ class Network:
             raise ValueError("bus needs at least one writer")
         reader = self.routers[reader_rid]
         endpoint = reader.add_input_port(kind=kind)
-        self.mediums.append(medium)
+        self._register_medium(medium)
         ports: Dict[int, int] = {}
         for w in writer_rids:
             writer = self.routers[w]
@@ -268,7 +303,7 @@ class Network:
         endpoints: Dict[object, Endpoint] = {}
         for key, rr in zip(reader_keys, reader_rids):
             endpoints[key] = self.routers[rr].add_input_port(kind=kind)
-        self.mediums.append(medium)
+        self._register_medium(medium)
         ports: Dict[int, int] = {}
         for w in writer_rids:
             writer = self.routers[w]
@@ -291,6 +326,18 @@ class Network:
             self.links.append(link)
             ports[w] = out_port
         return ports
+
+    def _register_medium(self, medium: SharedMedium) -> None:
+        """Record a shared medium once, assigning its arbitration index.
+
+        A builder may route several buses over one medium object; the
+        arbitration phase must still visit it exactly once per cycle, and
+        the index gives the simulator a deterministic iteration order over
+        whatever subset of media is currently active.
+        """
+        if medium.index < 0:
+            medium.index = len(self.mediums)
+            self.mediums.append(medium)
 
     def set_routing(self, routing: RoutingFunction) -> None:
         for router in self.routers:

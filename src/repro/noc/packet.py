@@ -111,6 +111,7 @@ class Packet:
         "wireless_hops",
         "photonic_hops",
         "electrical_hops",
+        "measured",
     )
 
     def __init__(
@@ -138,6 +139,12 @@ class Packet:
         self.wireless_hops = 0
         self.photonic_hops = 0
         self.electrical_hops = 0
+        # Injection-epoch tag: set by the stats collector at creation time.
+        # ``True`` once the packet was created at/after ``warmup_cycles``;
+        # packets born during warmup stay ``False`` even when they complete
+        # after it, so the measured window never mixes epochs. ``None`` for
+        # packets created outside any collector (manual injection in tests).
+        self.measured: Optional[bool] = None
 
     @property
     def latency(self) -> int:
@@ -187,21 +194,17 @@ class Flit:
     the receiver hears nothing, so the sender must time out).
     """
 
-    __slots__ = ("packet", "kind", "seq", "fate")
+    __slots__ = ("packet", "kind", "seq", "fate", "is_head", "is_tail")
 
     def __init__(self, packet: Packet, kind: FlitKind, seq: int) -> None:
         self.packet = packet
         self.kind = kind
         self.seq = seq
         self.fate: Optional[str] = None
-
-    @property
-    def is_head(self) -> bool:
-        return self.kind.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.kind.is_tail
+        # Plain booleans (not properties): these flags are consulted several
+        # times per flit per cycle on the switch-allocation hot path.
+        self.is_head: bool = kind.is_head
+        self.is_tail: bool = kind.is_tail
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Flit(pid={self.packet.pid}, {self.kind.name}, seq={self.seq})"

@@ -77,6 +77,10 @@ class Router:
         "_in_arbs",
         "_out_arbs",
         "_occupied",
+        "_sa_active",
+        "_rc_pending",
+        "_vca_pending",
+        "_wake",
         "buffer_writes",
         "buffer_reads",
         "xbar_traversals",
@@ -105,6 +109,21 @@ class Router:
         self._in_arbs: List[RoundRobinArbiter] = []
         self._out_arbs: List[RoundRobinArbiter] = []
         self._occupied: Set[Tuple[int, int]] = set()  # (in_port, vc) with flits
+        # Subset of ``_occupied`` that can compete in switch allocation:
+        # ACTIVE state *and* at least one buffered flit. Maintained by
+        # deliver_flit / stage_vca / _transmit so stage_sa never scans VCs
+        # still waiting in RC or VCA.
+        self._sa_active: Set[Tuple[int, int]] = set()
+        # Stage work sets: (in_port, vc) pairs awaiting route computation /
+        # VC allocation. Stages drain these instead of scanning every
+        # occupied VC each cycle (active-set scheduling).
+        self._rc_pending: Set[Tuple[int, int]] = set()
+        self._vca_pending: Set[Tuple[int, int]] = set()
+        # Scheduler callback: invoked with ``self`` on the empty->occupied
+        # transition so the simulator re-registers this router in its active
+        # set. ``None`` when no simulator is attached (unit tests driving
+        # stages by hand).
+        self._wake: Optional[Callable[["Router"], None]] = None
         # Activity counters for the power model:
         self.buffer_writes = 0
         self.buffer_reads = 0
@@ -165,7 +184,26 @@ class Router:
 
     def deliver_flit(self, in_port: int, vc: int, flit: "Flit") -> None:
         """Accept a flit arriving from a link (the LT stage completing)."""
-        self.input_ports[in_port].vcs[vc].push(flit)
+        vc_obj = self.input_ports[in_port].vcs[vc]
+        # VirtualChannel.push, inlined (one call per flit-hop): credit flow
+        # control makes overflow a simulator bug, hence the hard error.
+        queue = vc_obj.queue
+        if len(queue) >= vc_obj.depth:
+            raise RuntimeError(
+                f"VC{vc_obj.index} overflow: depth={vc_obj.depth}; "
+                "credit accounting is broken"
+            )
+        queue.append(flit)
+        state = vc_obj.state
+        if state is VCState.IDLE:
+            # A head flit (or a body flit queued behind an un-routed head)
+            # now sits in an IDLE VC: schedule route computation.
+            self._rc_pending.add((in_port, vc))
+        elif state is VCState.ACTIVE:
+            # A body flit caught up with its already-switching packet.
+            self._sa_active.add((in_port, vc))
+        if not self._occupied and self._wake is not None:
+            self._wake(self)
         self._occupied.add((in_port, vc))
         self.buffer_writes += 1
 
@@ -178,54 +216,137 @@ class Router:
     # ------------------------------------------------------------------ #
 
     def stage_rc(self, now: int) -> None:
-        """Route computation for head flits at the front of IDLE VCs."""
+        """Route computation for head flits at the front of IDLE VCs.
+
+        Work arrives via ``_rc_pending`` (populated by :meth:`deliver_flit`
+        and by :meth:`_transmit` when a tail departure exposes the next
+        packet's head). The downstream endpoint and the admissible VC set
+        are resolved here and cached on the VC -- both are functions of
+        (router, out_port, packet) only, so a VC that then blocks in VCA
+        re-polls the cached candidates instead of re-running the routing
+        function every cycle.
+        """
+        pending = self._rc_pending
+        if not pending:
+            return
         routing = self.routing
         if routing is None:
             raise RuntimeError(f"router {self.rid} has no routing function")
-        for (ip, iv) in list(self._occupied):
-            vc = self.input_ports[ip].vcs[iv]
+        self._rc_pending = set()
+        input_ports = self.input_ports
+        for (ip, iv) in pending if len(pending) == 1 else sorted(pending):
+            vc = input_ports[ip].vcs[iv]
             if vc.state is not VCState.IDLE or not vc.queue:
-                continue
+                continue  # stale entry: the VC advanced or drained already
             flit = vc.queue[0]
             if not flit.is_head:
                 raise RuntimeError(
                     f"router {self.rid}: non-head flit at front of IDLE VC "
                     f"(in_port={ip}, vc={iv}): {flit!r}"
                 )
-            vc.out_port = routing.compute(self, flit.packet)
+            packet = flit.packet
+            vc.out_port = routing.compute(self, packet)
+            link = self.out_links[vc.out_port]
+            vc.cand_endpoint = link.resolve_endpoint(packet)
+            if not vc.cand_endpoint.is_sink:
+                if packet.size_flits > vc.cand_endpoint.vc_depth:
+                    # Hoisted from Endpoint.can_accept_packet: silently
+                    # waiting on a packet that can never fit would hang.
+                    raise ValueError(
+                        f"packet of {packet.size_flits} flits can never fit "
+                        f"VC depth {vc.cand_endpoint.vc_depth} at "
+                        f"{vc.cand_endpoint.name or 'endpoint'}"
+                    )
+                vc.cand_vcs = tuple(
+                    routing.allowed_vcs(self, vc.out_port, packet)
+                )
             vc.state = VCState.WAITING_VC
+            self._vca_pending.add((ip, iv))
 
     def stage_vca(self, now: int) -> None:
-        """Virtual-channel allocation for VCs that completed RC."""
-        for (ip, iv) in list(self._occupied):
-            vc = self.input_ports[ip].vcs[iv]
+        """Virtual-channel allocation for VCs that completed RC.
+
+        Contention for downstream VCs is first-come-first-served in the
+        order the dense reference loop scans ``_occupied`` (set order), so
+        the poll below iterates ``_occupied`` restricted to pending keys --
+        iterating ``_vca_pending`` directly would re-order grants between
+        competing inputs and change which packet wins a contended VC.
+        Candidate endpoint/VC sets were cached at RC time; blocked VCs park
+        on the endpoint (see below) instead of re-polling every cycle.
+        """
+        pending = self._vca_pending
+        if not pending:
+            return
+        tracer = self.tracer
+        input_ports = self.input_ports
+        if len(pending) == 1:
+            keys = tuple(pending)
+        else:
+            keys = []
+            remaining = len(pending)
+            for k in self._occupied:
+                if k in pending:
+                    keys.append(k)
+                    remaining -= 1
+                    if not remaining:
+                        break
+        for key in keys:
+            ip, iv = key
+            vc = input_ports[ip].vcs[iv]
             if vc.state is not VCState.WAITING_VC:
+                pending.discard(key)
                 continue
-            packet = vc.queue[0].packet
-            link = self.out_links[vc.out_port]
-            endpoint = link.resolve_endpoint(packet)
+            endpoint = vc.cand_endpoint
             if endpoint.is_sink:
                 vc.out_vc = 0
                 vc.endpoint = endpoint
                 vc.state = VCState.ACTIVE
                 self.vca_grants += 1
+                pending.discard(key)
+                self._sa_active.add(key)
                 continue
-            for cand in self.routing.allowed_vcs(self, vc.out_port, packet):
-                if not endpoint.vc_busy[cand] and endpoint.can_accept_packet(
-                    cand, packet.size_flits
-                ):
-                    endpoint.acquire_vc(cand)
-                    vc.out_vc = cand
-                    vc.endpoint = endpoint
-                    vc.state = VCState.ACTIVE
-                    self.vca_grants += 1
-                    medium = link.medium
-                    if medium is not None:
-                        link.pending_requests += 1
-                        medium.note_request(link)
-                        if self.tracer is not None:
-                            self.tracer.on_medium_request(medium, link, packet, now)
-                    break
+            packet = vc.queue[0].packet
+            # Inlined Endpoint.can_accept_packet (virtual cut-through
+            # admission: room for the whole packet); the can-never-fit
+            # ValueError is hoisted to RC time via ``vc.cand_vcs``.
+            size = packet.size_flits
+            vc_busy = endpoint.vc_busy
+            credits = endpoint.credits
+            short_of_credit = False
+            for cand in vc.cand_vcs:
+                if not vc_busy[cand]:
+                    if credits[cand] >= size:
+                        vc_busy[cand] = True  # Endpoint.acquire_vc, inlined
+                        vc.out_vc = cand
+                        vc.endpoint = endpoint
+                        vc.state = VCState.ACTIVE
+                        self.vca_grants += 1
+                        pending.discard(key)
+                        self._sa_active.add(key)
+                        link = self.out_links[vc.out_port]
+                        medium = link.medium
+                        if medium is not None:
+                            link.pending_requests += 1
+                            medium.note_request(link)
+                            if tracer is not None:
+                                tracer.on_medium_request(medium, link, packet, now)
+                        break
+                    short_of_credit = True
+            else:
+                # Every candidate is busy or short on credits. Nothing about
+                # this decision changes until the candidate endpoint frees a
+                # VC (always) or returns a credit (only if some candidate was
+                # free but underfunded), so park the request there instead of
+                # re-polling every cycle. Both re-arm paths run in earlier
+                # phases of the cycle than VCA, so a parked entry is always
+                # back in ``_vca_pending`` before any cycle in which it could
+                # be granted (bit-identical to dense polling, whose failed
+                # re-polls have no side effects).
+                pending.discard(key)
+                if short_of_credit:
+                    endpoint.vca_credit_waiters.append((self, key))
+                else:
+                    endpoint.vca_waiters.append((self, key))
 
     def wants_link(self, link: Link, now: int) -> bool:
         """Does any ACTIVE VC here have a flit ready for ``link``?
@@ -252,60 +373,157 @@ class Router:
         ``send_fn(link, endpoint, flit, out_vc, now)`` schedules link
         traversal; ``credit_fn(input_endpoint, vc_index, now)`` schedules the
         upstream credit return for the freed buffer slot.
+
+        Hot-path note: the rotating-priority arbiters are inlined here --
+        the winner among request set ``R`` with pointer ``p`` over ``n``
+        lines is ``argmin_{i in R} (i - p) % n`` and the pointer advances to
+        ``winner + 1`` -- which is exactly :meth:`RoundRobinArbiter.grant`
+        without materialising a full boolean request vector per port per
+        cycle. Eligibility checks (credit, link serialization, medium
+        token) are likewise inlined copies of ``Endpoint.has_credit`` /
+        ``Link.ready``; stall classification matches ``Link.needs_grant``.
         """
-        if not self._occupied:
+        occ = self._sa_active
+        if not occ:
             return 0
 
-        # --- input-port arbitration: one candidate VC per input port ---- #
         tracer = self.tracer
-        port_winner: Dict[int, VirtualChannel] = {}
-        ports_seen: Set[int] = set()
-        for (ip, _iv) in self._occupied:
-            ports_seen.add(ip)
-        for ip in ports_seen:
-            port = self.input_ports[ip]
-            requests = [False] * self.num_vcs
-            any_req = False
-            for iv in range(self.num_vcs):
-                vc = port.vcs[iv]
-                if vc.state is not VCState.ACTIVE or not vc.queue:
-                    continue
-                if not vc.endpoint.has_credit(vc.out_vc):
+        input_ports = self.input_ports
+        out_links = self.out_links
+
+        # Fast path: exactly one competing VC -- no contention, both
+        # arbiters trivially grant it (pointer updates match grant() on a
+        # single-request vector); only eligibility needs checking.
+        if len(occ) == 1:
+            for (ip, iv) in occ:
+                break
+            vc = input_ports[ip].vcs[iv]
+            endpoint = vc.endpoint
+            if not (endpoint.is_sink or endpoint.credits[vc.out_vc] > 0):
+                if tracer is not None:
+                    tracer.on_vc_stall(self, input_ports[ip].kind, "credit", now)
+                return 0
+            link = out_links[vc.out_port]
+            if now < link.busy_until:
+                if tracer is not None:
+                    tracer.on_vc_stall(self, input_ports[ip].kind, "link", now)
+                return 0
+            medium = link.medium
+            if medium is not None and not (
+                medium.holder is link
+                and now >= medium.grant_at
+                and now >= medium.busy_until
+                and now >= medium.blocked_until
+            ):
+                if tracer is not None:
+                    tracer.on_vc_stall(self, input_ports[ip].kind, "token", now)
+                elif medium.holder is not link:
+                    # Token held elsewhere: nothing changes for this VC
+                    # until our link is granted, so park it on the link
+                    # (re-armed by SharedMedium.try_grant) instead of
+                    # re-polling every cycle. Holder-side timer waits
+                    # (arb latency / serialization) resolve within a few
+                    # cycles and keep polling.
+                    occ.discard((ip, iv))
+                    link.sa_token_waiters.append((self, (ip, iv)))
+                return 0
+            arb = self._in_arbs[ip]
+            arb._next = (iv + 1) % arb.n
+            arb = self._out_arbs[vc.out_port]
+            arb._next = (ip + 1) % arb.n
+            self._transmit(now, ip, vc, send_fn, credit_fn)
+            return 1
+
+        # --- input-port arbitration: one candidate VC per input port ---- #
+        # Indexed by input port so iteration is ascending-port without a
+        # sort (matching the reference loop's small-int set order).
+        grouped: List[Optional[List[int]]] = [None] * len(input_ports)
+        for (ip, iv) in occ:
+            bucket = grouped[ip]
+            if bucket is None:
+                grouped[ip] = [iv]
+            else:
+                bucket.append(iv)
+        winners: List[Tuple[int, VirtualChannel]] = []
+        for ip, ivs in enumerate(grouped):
+            if ivs is None:
+                continue
+            port = input_ports[ip]
+            port_vcs = port.vcs
+            req_ivs: List[int] = []
+            for iv in ivs if len(ivs) == 1 else sorted(ivs):
+                # _sa_active membership guarantees ACTIVE state and a
+                # non-empty queue (maintained by deliver_flit / stage_vca /
+                # _transmit), so neither is re-checked here.
+                vc = port_vcs[iv]
+                endpoint = vc.endpoint
+                if not (endpoint.is_sink or endpoint.credits[vc.out_vc] > 0):
                     if tracer is not None:
                         tracer.on_vc_stall(self, port.kind, "credit", now)
                     continue
-                link = self.out_links[vc.out_port]
-                if not link.ready(now):
+                link = out_links[vc.out_port]
+                if now < link.busy_until:
                     if tracer is not None:
-                        reason = "token" if link.needs_grant(now) else "link"
-                        tracer.on_vc_stall(self, port.kind, reason, now)
+                        tracer.on_vc_stall(self, port.kind, "link", now)
                     continue
-                requests[iv] = True
-                any_req = True
-            if any_req:
-                win = self._in_arbs[ip].grant(requests)
-                if win is not None:
-                    port_winner[ip] = port.vcs[win]
+                medium = link.medium
+                if medium is not None and not (
+                    medium.holder is link
+                    and now >= medium.grant_at
+                    and now >= medium.busy_until
+                    and now >= medium.blocked_until
+                ):
+                    if tracer is not None:
+                        tracer.on_vc_stall(self, port.kind, "token", now)
+                    elif medium.holder is not link:
+                        # See the single-entry path: park until granted.
+                        occ.discard((ip, iv))
+                        link.sa_token_waiters.append((self, (ip, iv)))
+                    continue
+                req_ivs.append(iv)
+            if not req_ivs:
+                continue
+            arb = self._in_arbs[ip]
+            if len(req_ivs) == 1:
+                win = req_ivs[0]
+            else:
+                nxt, n = arb._next, arb.n
+                win, best = -1, arb.n
+                for cand in req_ivs:
+                    dist = (cand - nxt) % n
+                    if dist < best:
+                        best, win = dist, cand
+            arb._next = (win + 1) % arb.n
+            winners.append((ip, port_vcs[win]))
 
-        if not port_winner:
+        if not winners:
             return 0
 
         # --- output-port arbitration among input-port winners ----------- #
-        by_out: Dict[int, List[int]] = {}
-        for ip, vc in port_winner.items():
-            by_out.setdefault(vc.out_port, []).append(ip)
-
+        if len(winners) == 1:
+            ip, vc = winners[0]
+            arb = self._out_arbs[vc.out_port]
+            arb._next = (ip + 1) % arb.n
+            self._transmit(now, ip, vc, send_fn, credit_fn)
+            return 1
+        by_out: Dict[int, List[Tuple[int, VirtualChannel]]] = {}
+        for ip, vc in winners:
+            by_out.setdefault(vc.out_port, []).append((ip, vc))
         moved = 0
-        n_in = len(self.input_ports)
         for out_port, contenders in by_out.items():
-            requests = [False] * n_in
-            for ip in contenders:
-                requests[ip] = True
-            win_ip = self._out_arbs[out_port].grant(requests)
-            if win_ip is None:
-                continue
-            vc = port_winner[win_ip]
-            self._transmit(now, win_ip, vc, send_fn, credit_fn)
+            arb = self._out_arbs[out_port]
+            if len(contenders) == 1:
+                ip, vc = contenders[0]
+            else:
+                nxt, n = arb._next, arb.n
+                best = n
+                ip, vc = contenders[0]
+                for cand_ip, cand_vc in contenders:
+                    dist = (cand_ip - nxt) % n
+                    if dist < best:
+                        best, ip, vc = dist, cand_ip, cand_vc
+            arb._next = (ip + 1) % arb.n
+            self._transmit(now, ip, vc, send_fn, credit_fn)
             moved += 1
         return moved
 
@@ -319,9 +537,16 @@ class Router:
     ) -> None:
         link = self.out_links[vc.out_port]
         endpoint = vc.endpoint
-        flit = vc.pop()
-        if not vc.queue:
-            self._occupied.discard((in_port, vc.index))
+        queue = vc.queue
+        flit = queue.popleft()
+        key = (in_port, vc.index)
+        if not queue:
+            self._occupied.discard(key)
+            self._sa_active.discard(key)
+        elif flit.is_tail:
+            # Next packet's head is now at the front: it must re-run RC/VCA
+            # before competing in SA again.
+            self._sa_active.discard(key)
         self.buffer_reads += 1
         self.xbar_traversals += 1
         self.sa_grants += 1
@@ -336,13 +561,20 @@ class Router:
             elif not endpoint.is_sink:
                 packet.electrical_hops += 1
 
-        endpoint.take_credit(vc.out_vc)
         out_vc = vc.out_vc
+        if not endpoint.is_sink:
+            # Endpoint.take_credit, inlined; SA eligibility just proved
+            # credits[out_vc] > 0 this cycle, so no underflow guard needed.
+            endpoint.credits[out_vc] -= 1
         # Link/medium busy + bit accounting happens inside send_fn so the
         # simulator can apply the configured flit width consistently.
         if flit.is_tail:
             endpoint.release_vc(out_vc)
             vc.release()
+            if queue:
+                # The departed tail exposed the next packet's head flit:
+                # route it this very cycle (RC runs after SA in step()).
+                self._rc_pending.add(key)
             medium = link.medium
             if medium is not None:
                 link.pending_requests -= 1

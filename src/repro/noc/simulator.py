@@ -20,19 +20,43 @@ independent of router iteration order (output ports belong to exactly one
 router; cross-router contention exists only on shared media, resolved in
 phase 2).
 
+**Active-set scheduling.** Routers, media and network interfaces register
+into per-cycle work sets only while they hold work (buffered flits, token
+requests, queued injections); each phase iterates its active set in sorted
+(rid / medium index / core) order, so results are deterministic and
+independent of how the sets were populated. When every active set is empty
+the network is *quiescent* -- nothing can happen until the next scheduled
+event -- and :meth:`Simulator.run` fast-forwards the clock to the earliest
+wake source: the next scheduled delivery/credit/ACK, the next fault-campaign
+action, the next tracer sampling cycle, or the next traffic injection
+(pre-drawn in dense cycle order so the RNG stream is untouched). Passing
+``dense=True`` disables only the clock skip; every phase runs the identical
+code either way, so the two modes are bit-identical by construction.
+
 A deadlock watchdog aborts the run if buffered flits stop moving for a
 configurable number of cycles -- misrouted VC partitioning shows up as a
-loud error instead of a silent hang.
+loud error instead of a silent hang. Cycles with deliveries still scheduled
+in the event queue are *not* counted as stalled: a long-latency wireless
+link legitimately keeps the network motionless for many cycles while its
+flits are in flight.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import heapq
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.noc.links import Endpoint, Link
-from repro.noc.network import Network
+from repro.noc.links import Endpoint, Link, SharedMedium
+from repro.noc.network import Network, NetworkInterface
 from repro.noc.packet import Flit, Packet, PacketIdAllocator
+from repro.noc.router import Router
 from repro.noc.stats import StatsCollector
+
+#: Deterministic iteration orders for the active sets (C-level key lookups).
+_router_key = attrgetter("rid")
+_medium_key = attrgetter("index")
+_ni_key = attrgetter("core")
 
 
 class SimulationDeadlock(RuntimeError):
@@ -66,6 +90,12 @@ class Simulator:
         events and per-component metrics. ``None`` (or a tracer with
         ``enabled=False``) keeps every hot path telemetry-free beyond a
         single ``is not None`` check per site.
+    dense:
+        ``True`` disables the idle-stretch fast-forward in :meth:`run` /
+        :meth:`drain` and steps every cycle densely. Phase execution is
+        shared between the modes, so dense runs produce bit-identical
+        results -- the flag exists as a debugging fallback and as the
+        reference side of the equivalence property tests.
     """
 
     def __init__(
@@ -77,6 +107,7 @@ class Simulator:
         watchdog: int = 2000,
         faults: Optional[object] = None,
         tracer: Optional[object] = None,
+        dense: bool = False,
     ) -> None:
         if credit_latency < 1:
             raise ValueError(f"credit_latency must be >= 1, got {credit_latency}")
@@ -84,10 +115,39 @@ class Simulator:
         self.traffic = traffic
         self.credit_latency = credit_latency
         self.watchdog = watchdog
+        self.dense = dense
         self.now = 0
         self.stats = StatsCollector(network.n_cores, warmup_cycles)
         self._events: Dict[int, List[Tuple]] = {}
+        #: Min-heap over the keys of ``_events``; stale entries (cycles whose
+        #: bucket was already consumed) are dropped lazily on inspection.
+        self._event_cycles: List[int] = []
         self._last_progress = 0
+        # Active sets: components registered here have (potential) work this
+        # cycle. Wake callbacks installed below re-register components on
+        # their empty->non-empty transitions; the cycle loop prunes drained
+        # entries as it visits them.
+        self._active_routers: Set[Router] = set()
+        self._active_media: Set[SharedMedium] = set()
+        self._active_nis: Set[NetworkInterface] = set()
+        wake_router = self._active_routers.add
+        for router in network.routers:
+            router._wake = wake_router
+            if router._occupied:
+                wake_router(router)
+        wake_medium = self._active_media.add
+        for idx, medium in enumerate(network.mediums):
+            if medium.index < 0:
+                medium.index = idx  # media registered outside Network helpers
+            medium._wake = wake_medium
+            if medium.requesters:
+                wake_medium(medium)
+        wake_ni = self._active_nis.add
+        for ni in network.interfaces:
+            if ni is not None:
+                ni._wake = wake_ni
+                if ni.queue:
+                    wake_ni(ni)
         self._flit_width = network.flit_width_bits
         self._hooks: List[Callable[["Simulator"], None]] = []
         self._paused_traffic: Optional[object] = None
@@ -123,18 +183,52 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _schedule(self, cycle: int, event: Tuple) -> None:
-        self._events.setdefault(cycle, []).append(event)
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [event]
+            heapq.heappush(self._event_cycles, cycle)
+        else:
+            bucket.append(event)
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle holding scheduled events (lazy heap cleanup)."""
+        heap = self._event_cycles
+        events = self._events
+        while heap:
+            cycle = heap[0]
+            if cycle in events:
+                return cycle
+            heapq.heappop(heap)
+        return None
 
     def _send_fn(self, link: Link, endpoint: Endpoint, flit: Flit, out_vc: int, now: int) -> None:
-        link.on_flit_sent(now, flit, self._flit_width)
+        # Link.on_flit_sent, inlined (one call per flit-hop).
+        link.busy_until = now + link.cycles_per_flit
+        link.flits_carried += 1
+        link.bits_carried += self._flit_width
+        if link.medium is not None:
+            link.medium.on_flit_sent(now, link.cycles_per_flit, flit.is_tail)
         if link.fault is not None:
             self._faults.note_send(link, flit, now)
         if self._tracer is not None:
             self._tracer.on_flit_sent(link, flit, now)
-        self._schedule(now + link.latency, ("flit", endpoint, out_vc, flit))
+        # _schedule, inlined (hottest event producer: one per flit-hop).
+        cycle = now + link.latency
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [("flit", endpoint, out_vc, flit)]
+            heapq.heappush(self._event_cycles, cycle)
+        else:
+            bucket.append(("flit", endpoint, out_vc, flit))
 
     def _credit_fn(self, endpoint: Endpoint, vc: int, now: int) -> None:
-        self._schedule(now + self.credit_latency, ("credit", endpoint, vc))
+        cycle = now + self.credit_latency
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [("credit", endpoint, vc)]
+            heapq.heappush(self._event_cycles, cycle)
+        else:
+            bucket.append(("credit", endpoint, vc))
 
     def _deliver(self, endpoint: Endpoint, vc: int, flit: Flit, now: int) -> None:
         tracer = self._tracer
@@ -146,7 +240,7 @@ class Simulator:
         if tracer is not None:
             tracer.on_flit_delivered(endpoint, flit, now)
         if endpoint.is_sink:
-            self.stats.on_flit_ejected(now)
+            self.stats.on_flit_ejected(now, flit.packet)
             if flit.is_tail:
                 flit.packet.t_eject = now
                 self.stats.on_packet_ejected(flit.packet, now)
@@ -167,25 +261,59 @@ class Simulator:
         # Phase 1: deliveries + credit returns scheduled for this cycle.
         events = self._events.pop(now, None)
         if events:
+            tracer_ = self._tracer
             for ev in events:
-                if ev[0] == "flit":
-                    _, endpoint, vc, flit = ev
-                    self._deliver(endpoint, vc, flit, now)
+                kind = ev[0]
+                if kind == "flit":
+                    # Simulator._deliver, inlined (one per flit-hop).
+                    endpoint = ev[1]
+                    flit = ev[3]
+                    if flit.fate is not None:
+                        # CRC failure / dead transceiver: the receiver
+                        # discards the flit (repro.faults handles credit
+                        # return and NACK scheduling).
+                        self._faults.note_drop(endpoint, ev[2], flit, now)
+                        moved += 1
+                        continue
+                    if tracer_ is not None:
+                        tracer_.on_flit_delivered(endpoint, flit, now)
+                    if endpoint.is_sink:
+                        self.stats.on_flit_ejected(now, flit.packet)
+                        if flit.is_tail:
+                            flit.packet.t_eject = now
+                            self.stats.on_packet_ejected(flit.packet, now)
+                            if tracer_ is not None:
+                                tracer_.on_packet_ejected(flit.packet, now)
+                    else:
+                        endpoint.router.deliver_flit(endpoint.in_port, ev[2], flit)
                     moved += 1
-                elif ev[0] == "credit":
-                    _, endpoint, vc = ev
-                    endpoint.return_credit(vc)
+                elif kind == "credit":
+                    # Endpoint.return_credit, inlined (one per flit-hop),
+                    # including the parked-VCA re-arm.
+                    endpoint = ev[1]
+                    if not endpoint.is_sink:
+                        endpoint.credits[ev[2]] += 1
+                        waiters = endpoint.vca_credit_waiters
+                        if waiters:
+                            for router, key in waiters:
+                                router._vca_pending.add(key)
+                            waiters.clear()
                 else:  # link-layer ACK/NACK arrival ("llack")
                     self._faults.handle_event(ev, now)
 
         # Phase 2: shared-medium (token) arbitration (event-driven request
-        # sets; O(requesters) per free medium, not O(members)).
+        # sets; O(active media) per cycle, not O(all media)).
         tracer = self._tracer
-        for medium in self.network.mediums:
-            if medium.holder is None and medium.requesters:
-                granted = medium.try_grant(now)
-                if tracer is not None and granted is not None:
-                    tracer.on_token_grant(medium, granted, now)
+        active_media = self._active_media
+        if active_media:
+            for medium in sorted(active_media, key=_medium_key):
+                if not medium.requesters:
+                    active_media.discard(medium)
+                    continue
+                if medium.holder is None:
+                    granted = medium.try_grant(now)
+                    if tracer is not None and granted is not None:
+                        tracer.on_token_grant(medium, granted, now)
 
         # Phase 2.5: fault injection + link-layer retransmission engines.
         # Placed after token arbitration (a freshly granted engine transmits
@@ -194,18 +322,26 @@ class Simulator:
         if self._faults is not None:
             moved += self._faults.tick(self, now)
 
-        # Phase 3: switch allocation + traversal.
-        send_fn = self._send_fn
-        credit_fn = self._credit_fn
-        for router in self.network.routers:
-            if router._occupied:
-                moved += router.stage_sa(now, send_fn, credit_fn)
-
-        # Phases 4 & 5: VC allocation, then route computation.
-        for router in self.network.routers:
-            if router._occupied:
-                router.stage_vca(now)
-                router.stage_rc(now)
+        # Phase 3: switch allocation + traversal, then phases 4 & 5 (VC
+        # allocation, route computation) -- all over the sorted snapshot of
+        # routers that currently hold flits. Deliveries (phase 1) woke any
+        # newly occupied router before this snapshot was taken; routers that
+        # drained are pruned from the active set on the second pass.
+        active_routers = self._active_routers
+        if active_routers:
+            routers = sorted(active_routers, key=_router_key)
+            send_fn = self._send_fn
+            credit_fn = self._credit_fn
+            for router in routers:
+                if router._sa_active:
+                    moved += router.stage_sa(now, send_fn, credit_fn)
+            for router in routers:
+                if router._vca_pending:
+                    router.stage_vca(now)
+                if router._rc_pending:
+                    router.stage_rc(now)
+                if not router._occupied:
+                    active_routers.discard(router)
 
         # Phase 6: traffic generation + NI injection.
         if self.traffic is not None:
@@ -214,9 +350,15 @@ class Simulator:
                 if tracer is not None:
                     tracer.on_packet_created(packet, now)
                 self.network.inject_packet(packet)
-        for ni in self.network.interfaces:
-            if ni is not None and ni.queue:
-                moved += ni.pump(now)
+        active_nis = self._active_nis
+        if active_nis:
+            for ni in sorted(active_nis, key=_ni_key):
+                if ni.queue:
+                    moved += ni.pump(now)
+                    if not ni.queue:
+                        active_nis.discard(ni)
+                else:
+                    active_nis.discard(ni)
 
         # End-of-cycle hooks (adaptive controllers).
         if self._hooks:
@@ -230,9 +372,18 @@ class Simulator:
                 tracer.on_cycle_sample(now)
 
         # Watchdog: flits buffered but nothing moved for too long -> deadlock.
+        # Scheduled events (deliveries in flight on long-latency links,
+        # pending credits, link-layer ACKs) are guaranteed future progress,
+        # so the watchdog only trips when the event queue is empty too --
+        # otherwise a C2C wireless hop slower than the watchdog budget would
+        # raise a false deadlock.
         if moved:
             self._last_progress = now
-        elif self.network.total_occupancy() and now - self._last_progress > self.watchdog:
+        elif (
+            not self._events
+            and now - self._last_progress > self.watchdog
+            and self.network.total_occupancy()
+        ):
             if tracer is not None:
                 tracer.on_deadlock(now, self.network.total_occupancy())
             raise SimulationDeadlock(self._deadlock_report(now))
@@ -282,9 +433,76 @@ class Simulator:
             lines.append(f"  ... and {len(stuck) - len(shown)} more routers")
         return "\n".join(lines)
 
+    def _quiescent(self) -> bool:
+        """No component holds work: nothing can happen until a wake source.
+
+        Scheduled events and future fault-campaign actions / traffic
+        injections do *not* count -- they are precisely the wake sources the
+        fast-forward jumps to.
+        """
+        return (
+            not self._active_routers
+            and not self._active_nis
+            and not self._active_media
+            and (self._faults is None or not self._faults.pending_work())
+        )
+
+    def _next_wake(self, limit: int) -> int:
+        """Earliest cycle in ``[now, limit]`` at which anything can happen.
+
+        Consulted only while quiescent. Wake sources, in order: scheduled
+        events (deliveries / credits / ACKs), fault-campaign actions, the
+        tracer's occupancy-sampling grid, and the traffic process's next
+        injection. The traffic peek is asked last so its lookahead horizon
+        is already capped by every other source -- it never pre-draws RNG
+        cycles a dense run would not have reached by the same point.
+        """
+        now = self.now
+        target = limit
+        cycle = self._next_event_cycle()
+        if cycle is not None and cycle < target:
+            target = cycle
+        if self._faults is not None:
+            cycle = self._faults.next_action_cycle(now)
+            if cycle is not None and cycle < target:
+                target = cycle
+        tracer = self._tracer
+        if tracer is not None and tracer.sample_every:
+            every = tracer.sample_every
+            cycle = now if now % every == 0 else ((now // every) + 1) * every
+            if cycle < target:
+                target = cycle
+        if target <= now:
+            return now
+        if self.traffic is not None:
+            peek = getattr(self.traffic, "next_injection_cycle", None)
+            if peek is None:
+                return now  # opaque traffic process: never skip its ticks
+            cycle = peek(now, target)
+            if cycle is not None and cycle < target:
+                target = cycle
+        return target
+
+    def _can_fast_forward(self) -> bool:
+        # End-of-cycle hooks (adaptive controllers) observe every cycle, so
+        # their presence forces dense stepping.
+        return not self.dense and not self._hooks and self._quiescent()
+
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
-        for _ in range(cycles):
+        """Advance the simulation by ``cycles`` cycles.
+
+        Idle stretches are fast-forwarded to the next wake source unless
+        ``dense=True`` was requested (or end-of-cycle hooks are installed).
+        Fast-forwarded cycles are no-ops by construction, so both modes
+        execute the identical sequence of effective cycles.
+        """
+        end = self.now + cycles
+        while self.now < end:
+            if self._can_fast_forward():
+                target = self._next_wake(end)
+                if target > self.now:
+                    self.now = target
+                    continue
             self.step()
 
     def drain(self, max_cycles: int = 50_000) -> bool:
@@ -306,11 +524,23 @@ class Simulator:
         start_ejected = self.stats.packets_ejected
         moved = 0
         drained = False
-        for _ in range(max_cycles):
+        budget = max_cycles
+        while budget > 0:
             if not self._pending_work():
                 drained = True
                 break
+            if self._can_fast_forward():
+                # Quiescent but events still in flight (e.g. the last tail
+                # flits travelling to their sinks): jump straight to them,
+                # charging the skipped idle cycles against the budget just
+                # as dense stepping would burn them.
+                target = self._next_wake(self.now + budget)
+                if target > self.now:
+                    budget -= target - self.now
+                    self.now = target
+                    continue
             moved += self.step()
+            budget -= 1
         else:
             drained = not self._pending_work()
         if tracer is not None:

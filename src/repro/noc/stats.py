@@ -83,7 +83,15 @@ class StatsCollector:
         #: distributions is the standard saturation diagnostic.
         self.network_latencies: List[int] = []
         self.packets_ejected = 0
+        #: Flits delivered inside the measurement window (ejection-time
+        #: test). Throughput is the steady-state *delivery rate* over the
+        #: window, so it counts every ejection in it -- unlike the latency
+        #: samples below, which admit only packets *created* after warmup
+        #: (mixing injection epochs skews the latency distribution).
         self.flits_ejected = 0
+        #: Every delivered flit regardless of epoch (power accounting:
+        #: energy is spent on warmup flits too).
+        self.flits_ejected_total = 0
         self.packets_created = 0
         self.flits_created = 0
         self.measured_packets = 0
@@ -115,9 +123,14 @@ class StatsCollector:
     def on_packet_created(self, packet: Packet) -> None:
         self.packets_created += 1
         self.flits_created += packet.size_flits
+        # Injection-epoch tag consulted at ejection time (and by the
+        # telemetry tracer): only packets born inside the measurement
+        # window count towards measured statistics.
+        packet.measured = packet.t_create >= self.warmup_cycles
 
-    def on_flit_ejected(self, now: int) -> None:
+    def on_flit_ejected(self, now: int, packet: Optional[Packet] = None) -> None:
         self.last_cycle = max(self.last_cycle, now)
+        self.flits_ejected_total += 1
         if now >= self.warmup_cycles:
             if self.first_measured_cycle is None:
                 self.first_measured_cycle = now
@@ -125,7 +138,12 @@ class StatsCollector:
 
     def on_packet_ejected(self, packet: Packet, now: int) -> None:
         self.packets_ejected += 1
-        if packet.t_create >= self.warmup_cycles:
+        measured = packet.measured
+        if measured is None:
+            # Created outside any collector (manual injection in tests):
+            # fall back to the injection-epoch test directly.
+            measured = packet.t_create >= self.warmup_cycles
+        if measured:
             self.measured_packets += 1
             self.measured_flits += packet.size_flits
             self.latencies.append(now - packet.t_create)
@@ -181,14 +199,28 @@ class StatsCollector:
             "channels_failed_over": self.channels_failed_over,
         }
 
-    def summary(self, end_cycle: int) -> Dict[str, float]:
+    def summary(self, end_cycle: int) -> Dict[str, Optional[float]]:
+        """Headline metrics for run records.
+
+        With zero completed packets the latency metrics are emitted as an
+        *explicit* ``n=0`` sentinel -- ``latency_samples`` 0 alongside
+        ``None`` values -- rather than NaN left for the JSON layer to
+        coerce. ``repro diff`` distinguishes this sentinel from a missing
+        metric and flags an empty-vs-populated mismatch as a regression.
+        """
         lat = self.latency_stats()
+        net_lat = self.network_latency_stats()
+        empty = lat.count == 0
         return {
             "packets_measured": float(self.measured_packets),
-            "latency_mean": lat.mean,
-            "latency_p99": lat.p99,
-            "network_latency_mean": self.network_latency_stats().mean,
-            "queueing_latency_mean": self.queueing_latency_mean(),
+            "latency_samples": float(lat.count),
+            "latency_mean": None if empty else lat.mean,
+            "latency_p99": None if empty else lat.p99,
+            "network_latency_mean": None if net_lat.count == 0 else net_lat.mean,
+            "queueing_latency_mean": (
+                None if empty or net_lat.count == 0
+                else self.queueing_latency_mean()
+            ),
             "throughput": self.throughput_flits_per_core_cycle(end_cycle),
             "avg_hops": self.avg_hops(),
             "avg_wireless_hops": self.avg_wireless_hops(),

@@ -154,7 +154,9 @@ class PowerModel:
         duration_s = self.dsent.cycles_to_seconds(sim.now)
         out = PowerBreakdown(duration_s=duration_s)
         out.packets = sim.stats.packets_ejected
-        out.flits_delivered = sim.stats.flits_ejected
+        # Power is physical: every delivered flit burned energy, including
+        # warmup-epoch flits the measured-window stats exclude.
+        out.flits_delivered = sim.stats.flits_ejected_total
 
         # Routers: dynamic event energy + static power.
         dyn_pj = 0.0

@@ -229,6 +229,7 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         warmup_cycles=spec.warmup,
         faults=layer,
         tracer=tracer,
+        dense=spec.dense,
     )
     for hook in hooks:
         sim.add_hook(hook)

@@ -172,6 +172,13 @@ class RunSpec:
         record). Event buffering / Chrome traces are an executor concern
         (``Executor(trace_dir=...)``), not a spec knob, because the event
         stream is not cacheable payload.
+    dense:
+        Force the simulator to execute every cycle instead of
+        fast-forwarding through quiescent stretches (see
+        :class:`repro.noc.simulator.Simulator`). Results are bit-identical
+        either way -- this knob exists to *prove* that (CI diffs a dense
+        sweep against the fast-generated golden log) and as a fallback
+        while debugging the scheduler itself.
     """
 
     topology: str
@@ -183,6 +190,7 @@ class RunSpec:
     faults: Optional[FaultSpec] = None
     power: Tuple[Tuple[int, int], ...] = ()
     telemetry: bool = False
+    dense: bool = False
 
     @classmethod
     def create(
@@ -202,6 +210,7 @@ class RunSpec:
         faults: Optional[FaultSpec] = None,
         power: Tuple[Tuple[int, int], ...] = (),
         telemetry: bool = False,
+        dense: bool = False,
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts/kwargs."""
         return cls(
@@ -222,6 +231,7 @@ class RunSpec:
             faults=faults,
             power=tuple((int(c), int(s)) for c, s in power),
             telemetry=telemetry,
+            dense=dense,
         )
 
     def with_(self, **changes) -> "RunSpec":
@@ -258,6 +268,7 @@ class RunSpec:
             faults=faults,
             power=power,
             telemetry=bool(d.get("telemetry", False)),
+            dense=bool(d.get("dense", False)),
         )
 
     def canonical_json(self) -> str:

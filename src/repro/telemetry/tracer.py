@@ -280,10 +280,15 @@ class Tracer:
         }
         parts["other"] = max(0, total - sum(parts.values()))
         cls = pt.cls or ("photonic" if packet.photonic_hops else "electrical")
-        hist = self.metrics.histogram
-        hist("pkt_total", cls).observe(total)
-        for stage, v in parts.items():
-            hist(f"pkt_{stage}", cls).observe(v)
+        # Warmup-epoch packets (injected before warmup_cycles, tagged by
+        # the stats collector) stay out of the latency histograms, matching
+        # the measured-window filtering in repro.noc.stats; their PACKET_DONE
+        # event is still emitted for trace completeness.
+        if packet.measured is not False:
+            hist = self.metrics.histogram
+            hist("pkt_total", cls).observe(total)
+            for stage, v in parts.items():
+                hist(f"pkt_{stage}", cls).observe(v)
         if self._eventing:
             args = dict(parts)
             args.update({"pid": packet.pid, "total": total, "class": cls})

@@ -18,7 +18,7 @@ traffic in the NoC literature:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,10 +91,14 @@ class BurstyTraffic:
         self._on = self._rng.random(n_cores) < duty
         self.packets_generated = 0
         self.allocator = None
+        # Injection lookahead (fast-forward support); see
+        # :class:`repro.traffic.generator.SyntheticTraffic`.
+        self._drawn_until = -1
+        self._pending: Dict[int, List[Tuple[int, int]]] = {}
 
-    def tick(self, now: int) -> List[Packet]:
-        if self.stop_cycle is not None and now >= self.stop_cycle:
-            return []
+    def _draw(self, cycle: int) -> Optional[List[Tuple[int, int]]]:
+        """Advance the Markov state and Bernoulli draws by one cycle."""
+        self._drawn_until = cycle
         rng = self._rng
         # State transitions.
         flips = rng.random(self.n_cores)
@@ -105,20 +109,61 @@ class BurstyTraffic:
         draws = rng.random(self.n_cores)
         sources = np.nonzero(self._on & (draws < self._p_start_on))[0]
         if sources.size == 0:
-            return []
+            return None
         dsts = self.pattern.destinations(sources, rng)
+        pairs = [
+            (int(s), int(d)) for s, d in zip(sources, dsts) if s != d
+        ]
+        return pairs or None
+
+    def tick(self, now: int) -> List[Packet]:
+        if self.stop_cycle is not None and now >= self.stop_cycle:
+            return []
+        if now <= self._drawn_until:
+            pairs = self._pending.pop(now, None)
+        else:
+            pairs = self._draw(now)
+        if not pairs:
+            return []
         packets = [
-            Packet(int(s), int(d), self.packet_size_flits, now,
+            Packet(src, dst, self.packet_size_flits, now,
                    allocator=self.allocator)
-            for s, d in zip(sources, dsts)
-            if s != d
+            for src, dst in pairs
         ]
         self.packets_generated += len(packets)
         return packets
 
+    def next_injection_cycle(self, start: int, limit: int) -> Optional[int]:
+        """Earliest cycle in ``[start, limit)`` with an injection, or None.
+
+        The ON/OFF state machine flips every non-stopped cycle in dense
+        mode, so the lookahead must (and does) advance it cycle by cycle
+        while peeking -- randomness consumption is identical either way.
+        """
+        stop = self.stop_cycle
+        cycle = start
+        while cycle < limit:
+            if stop is not None and cycle >= stop:
+                return None
+            if cycle <= self._drawn_until:
+                if cycle in self._pending:
+                    return cycle
+            else:
+                pairs = self._draw(cycle)
+                if pairs:
+                    self._pending[cycle] = pairs
+                    return cycle
+            cycle += 1
+        return None
+
     @property
     def fraction_on(self) -> float:
-        """Instantaneous share of sources in the ON state."""
+        """Instantaneous share of sources in the ON state.
+
+        Note: reflects the most recently *drawn* cycle, which in
+        fast-forward mode can run ahead of the simulator clock while the
+        network is idle.
+        """
         return float(np.mean(self._on))
 
 

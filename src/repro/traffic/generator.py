@@ -12,7 +12,7 @@ idiom: at 1024 cores this is ~30x faster than per-core Python draws.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +71,32 @@ class SyntheticTraffic:
         #: Packet-id source; the simulator binds its own per-run allocator
         #: here (see :class:`repro.noc.packet.PacketIdAllocator`).
         self.allocator = None
+        # Injection lookahead (fast-forward support): last cycle whose
+        # randomness has been consumed, and draw results cached for cycles
+        # peeked ahead of the simulator clock.
+        self._drawn_until = -1
+        self._pending: Dict[int, List[Tuple[int, int]]] = {}
+
+    def _draw(self, cycle: int) -> Optional[List[Tuple[int, int]]]:
+        """Consume exactly one cycle's randomness; return (src, dst) pairs.
+
+        This is the *only* place the generator touches its RNG stream, and
+        it advances strictly one cycle at a time in dense order -- so ticked
+        and peeked cycles interleave into the identical draw sequence a
+        dense run performs.
+        """
+        self._drawn_until = cycle
+        draws = self._rng.random(self.n_cores)
+        sources = np.nonzero(draws < self._p_start)[0]
+        if sources.size == 0:
+            return None
+        dsts = self.pattern.destinations(sources, self._rng)
+        pairs = [
+            (src, dst)
+            for src, dst in zip(sources.tolist(), dsts.tolist())
+            if src != dst  # permutation fixed points / uniform self-draws
+        ]
+        return pairs or None
 
     def tick(self, now: int) -> List[Packet]:
         """Packets created at cycle ``now``."""
@@ -78,20 +104,48 @@ class SyntheticTraffic:
             return []
         if self.stop_cycle is not None and now >= self.stop_cycle:
             return []
-        draws = self._rng.random(self.n_cores)
-        sources = np.nonzero(draws < self._p_start)[0]
-        if sources.size == 0:
+        if now <= self._drawn_until:
+            pairs = self._pending.pop(now, None)
+        else:
+            # Any gap since the last draw means those cycles were never
+            # ticked (paused traffic): neither mode consumes randomness
+            # there, and _draw() jumps _drawn_until straight to ``now``.
+            pairs = self._draw(now)
+        if not pairs:
             return []
-        dsts = self.pattern.destinations(sources, self._rng)
-        packets: List[Packet] = []
-        for src, dst in zip(sources.tolist(), dsts.tolist()):
-            if src == dst:
-                continue  # permutation fixed points / uniform self-draws
-            packets.append(
-                Packet(src, dst, self.packet_size_flits, now, allocator=self.allocator)
-            )
+        packets = [
+            Packet(src, dst, self.packet_size_flits, now, allocator=self.allocator)
+            for src, dst in pairs
+        ]
         self.packets_generated += len(packets)
         return packets
+
+    def next_injection_cycle(self, start: int, limit: int) -> Optional[int]:
+        """Earliest cycle in ``[start, limit)`` with an injection, or None.
+
+        Fast-forward wake source: draws the RNG stream forward cycle by
+        cycle (caching the hit for the eventual :meth:`tick`), never beyond
+        ``limit`` or ``stop_cycle`` -- the horizon the simulator passes in
+        is already capped by every other wake source, so no draw happens
+        that an equivalent dense run would not also have performed.
+        """
+        if self._p_start <= 0.0:
+            return None
+        stop = self.stop_cycle
+        cycle = start
+        while cycle < limit:
+            if stop is not None and cycle >= stop:
+                return None
+            if cycle <= self._drawn_until:
+                if cycle in self._pending:
+                    return cycle
+            else:
+                pairs = self._draw(cycle)
+                if pairs:
+                    self._pending[cycle] = pairs
+                    return cycle
+            cycle += 1
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -124,6 +178,11 @@ class ScriptedTraffic:
         ]
         self.packets_generated += len(packets)
         return packets
+
+    def next_injection_cycle(self, start: int, limit: int) -> Optional[int]:
+        """Earliest scheduled cycle in ``[start, limit)`` (fast-forward)."""
+        future = [c for c in self._by_cycle if start <= c < limit]
+        return min(future) if future else None
 
     @property
     def exhausted(self) -> bool:

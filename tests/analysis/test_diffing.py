@@ -95,6 +95,50 @@ class TestGating:
         breached = {md.metric for _, md in diff_runlogs(a, b).breaches()}
         assert breached == {"throughput"}
 
+    def test_empty_sentinel_vs_populated_always_gates(self, tmp_path):
+        # Explicit JSON nulls (the collector's n=0 sentinel: a run that
+        # delivered no measurable packets) on one side, data on the other.
+        # That qualitative change must gate even with an absurd threshold.
+        empty = record()
+        empty["summary"]["latency_mean"] = None
+        empty["summary"]["latency_p99"] = None
+        a = write_log(tmp_path, "a.jsonl", [record()])
+        b = write_log(tmp_path, "b.jsonl", [empty])
+        diff = diff_runlogs(a, b, rel_threshold=10.0)
+        assert not diff.clean
+        breached = {md.metric for _, md in diff.breaches()}
+        assert {"latency_mean", "latency_p99"} <= breached
+        md = [m for m in diff.matched[0].metrics if m.metric == "latency_mean"][0]
+        assert md.empty_mismatch
+        assert md.n_a == 1 and md.n_b == 0
+        assert "EMPTY on side B" in format_diff(diff)
+
+    def test_empty_sentinel_on_both_sides_not_compared(self, tmp_path):
+        # n=0 on both sides: nothing to compare, nothing to gate.
+        def empty_record():
+            r = record()
+            r["summary"]["latency_mean"] = None
+            return r
+
+        a = write_log(tmp_path, "a.jsonl", [empty_record()])
+        b = write_log(tmp_path, "b.jsonl", [empty_record()])
+        diff = diff_runlogs(a, b)
+        names = {m.metric for m in diff.matched[0].metrics}
+        assert "latency_mean" not in names
+        assert diff.clean
+
+    def test_absent_metric_skipped_unlike_null(self, tmp_path):
+        # A path missing entirely (pre-sentinel schema) is skipped, NOT
+        # treated as the explicit-null sentinel: old logs stay diffable.
+        old = record()
+        del old["summary"]["latency_p99"]
+        a = write_log(tmp_path, "a.jsonl", [old])
+        b = write_log(tmp_path, "b.jsonl", [record()])
+        diff = diff_runlogs(a, b)
+        names = {m.metric for m in diff.matched[0].metrics}
+        assert "latency_p99" not in names
+        assert diff.clean
+
     def test_noise_band_suppresses_gating(self, tmp_path):
         # Repeated-seed spread in the baseline covers the delta: the move
         # is within measurement noise and must not gate.

@@ -134,6 +134,45 @@ class TestStatsWindows:
         assert sim.stats.measured_packets < sim.stats.packets_ejected
         assert sim.stats.measured_packets > 0
 
+    def test_warmup_epoch_split_latency_vs_throughput(self):
+        # Latency samples admit only packets *created* inside the window;
+        # throughput counts every flit *delivered* inside it. A warmup-era
+        # packet ejected post-warmup loads the delivery rate but must not
+        # skew the latency distribution.
+        c = StatsCollector(4, warmup_cycles=100)
+        pre = Packet(0, 1, 1, 10)     # created and ejected pre-warmup
+        early = Packet(0, 1, 4, 50)   # created pre-warmup, ejected in window
+        late = Packet(0, 1, 4, 120)   # created in window
+        for p in (pre, early, late):
+            c.on_packet_created(p)
+        c.on_flit_ejected(90, pre)
+        c.on_packet_ejected(pre, 90)
+        for _ in range(4):
+            c.on_flit_ejected(110, early)
+        c.on_packet_ejected(early, 110)
+        for _ in range(4):
+            c.on_flit_ejected(140, late)
+        c.on_packet_ejected(late, 140)
+
+        assert c.flits_ejected_total == 9  # power accounting sees all
+        assert c.flits_ejected == 8        # both in-window ejections count
+        assert c.measured_packets == 1     # only the post-warmup creation
+        assert c.latencies == [140 - 120]
+        s = c.summary(end_cycle=200)
+        assert s["latency_samples"] == 1.0
+        assert s["throughput"] == 8 / (4 * 100)
+
+    def test_untagged_packet_falls_back_to_creation_epoch(self):
+        # Manually injected packets bypass on_packet_created, so their
+        # measured tag is still None: ejection must fall back to the
+        # t_create >= warmup test instead of treating None as False.
+        c = StatsCollector(4, warmup_cycles=100)
+        p = Packet(0, 1, 4, 120)
+        assert p.measured is None
+        c.on_packet_ejected(p, 150)
+        assert c.measured_packets == 1
+        assert c.latencies == [30]
+
     def test_throughput_nan_before_window(self):
         collector = StatsCollector(4, warmup_cycles=100)
         assert collector.throughput_flits_per_core_cycle(50) != collector.throughput_flits_per_core_cycle(50)  # NaN
@@ -275,6 +314,29 @@ class TestDeadlockReport:
         assert "audit" in msg
         assert "stuck flits by router" in msg
         assert "r0" in msg
+
+    def test_slow_link_with_pending_events_is_not_deadlock(self):
+        # Regression: a link whose latency exceeds the watchdog budget
+        # leaves the second packet buffered upstream (sole downstream VC
+        # held by the first) with zero movement for longer than the
+        # no-progress window -- but the first packet's in-flight flits and
+        # the returning VC release/credits are scheduled events, i.e.
+        # guaranteed future progress. The watchdog must consult the
+        # pending event queue before declaring deadlock.
+        net = Network("line", n_cores=2, num_vcs=1, vc_depth=4)
+        net.add_router()
+        net.add_router()
+        net.attach_core(0, 0)
+        net.attach_core(1, 1)
+        fwd_port, _ = net.connect(0, 1, latency=40)
+        net.set_routing(LineRouting(net, fwd_port))
+        net.finalize()
+        sim = Simulator(net, watchdog=10)
+        net.inject_packet(Packet(0, 1, 4, 0, allocator=sim.packet_ids))
+        net.inject_packet(Packet(0, 1, 4, 0, allocator=sim.packet_ids))
+        sim.run(600)  # several credit round trips at latency 40
+        sim.drain()
+        assert sim.stats.packets_ejected == 2
 
     def test_deadlock_trace_event_carries_occupancy(self):
         tracer = Tracer()
