@@ -10,6 +10,7 @@ implies.
 import pytest
 
 from repro.analysis import (
+    study_adaptive,
     study_area_scaling,
     study_bursty_traffic,
     study_component_scaling,
@@ -88,3 +89,22 @@ def test_bursty(run_experiment):
     # with the burst factor.
     assert rows[4.0][3] == pytest.approx(rows[1.0][3], rel=0.2)
     assert rows[4.0][2] > rows[1.0][2]
+
+
+def test_adaptive_control(run_experiment):
+    result = run_experiment(study_adaptive, quick=True)
+    arms = {(row[0], row[1]): row for row in result.rows}
+    # Closing the loop pays: adaptive beats static on p99 latency in
+    # every hotspot/fault cell (throughput is rate-limited and equal).
+    for cell, gains in result.notes["adaptive_gains"].items():
+        assert gains["p99_gain"] > 0, cell
+    # The transient burst is recovered, not permanently failed over.
+    assert result.notes["recovered_transient"] >= 1
+    assert arms[("hot+burst", "adaptive")][6] >= 1  # recovered column
+    assert arms[("hot+burst", "static")][6] == 0
+    # Every adaptive arm logged decisions under a pinned CRC.
+    for (cell, arm), row in arms.items():
+        if arm == "adaptive":
+            assert row[7] > 0 and isinstance(row[8], int)
+        else:
+            assert row[8] == "-"

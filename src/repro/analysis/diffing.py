@@ -40,8 +40,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runtime.records import read_runlog
 
-#: Spec fields forming the cross-log join key.
-KEY_FIELDS = ("topology", "pattern", "rate", "cycles", "warmup")
+#: Spec fields forming the cross-log join key. ``variant`` (the spec's
+#: free-form ``tag``, absent/None on untagged runs) keeps study arms that
+#: share every numeric field -- e.g. static vs adaptive control -- from
+#: collapsing into one repeat group.
+KEY_FIELDS = ("topology", "pattern", "rate", "cycles", "warmup", "variant")
 
 #: metric name -> (record path, higher-is-better). Latency regressions are
 #: increases; throughput regressions are decreases.
@@ -49,6 +52,17 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, ...], bool]] = {
     "latency_mean": (("summary", "latency_mean"), False),
     "latency_p99": (("summary", "latency_p99"), False),
     "throughput": (("summary", "throughput"), True),
+}
+
+#: metric name -> record path for *exact* gates: any difference at all is
+#: a breach, with no direction, noise band or relative threshold. Used for
+#: determinism fingerprints -- e.g. the control plane's decision-log CRC,
+#: where a single-bit drift means the closed loop stopped being
+#: reproducible even if every performance number still matches. Absent
+#: from one or both logs (runs without a control plane, older schema) the
+#: metric is skipped, like any other.
+EXACT_METRICS: Dict[str, Tuple[str, ...]] = {
+    "control_log_crc": ("summary", "control_log_crc"),
 }
 
 SpecKey = Tuple[object, ...]
@@ -103,6 +117,10 @@ class MetricDiff:
     #: while the other had data. The empty side's mean is a 0.0
     #: placeholder, never NaN (records are JSON; NaN is not).
     empty_mismatch: bool = False
+    #: Exact gate (:data:`EXACT_METRICS`): any value difference -- across
+    #: sides or between repeats on one side -- breaches regardless of
+    #: direction, noise or threshold.
+    exact: bool = False
 
     @property
     def delta(self) -> float:
@@ -127,6 +145,8 @@ class MetricDiff:
             # qualitative change (a run stopped delivering packets, or
             # started) that no numeric threshold may wave through.
             return True
+        if self.exact:
+            return self.a_mean != self.b_mean or self.noise != 0
         bad = -self.delta if self.higher_is_better else self.delta
         if bad <= self.noise:
             return False
@@ -144,6 +164,7 @@ class MetricDiff:
             "n_b": self.n_b,
             "gated": self.gated,
             "empty_mismatch": self.empty_mismatch,
+            "exact": self.exact,
         }
 
 
@@ -245,13 +266,18 @@ def diff_groups(
         label = str(recs_a[0].get("label", key))
         digests_a = {r.get("digest") for r in recs_a}
         digests_b = {r.get("digest") for r in recs_b}
-        paths = dict(GATED_METRICS)
+        paths: Dict[str, Tuple[Tuple[str, ...], bool, bool]] = {
+            name: (path, higher, False)
+            for name, (path, higher) in GATED_METRICS.items()
+        }
         for name, path in _power_paths(list(recs_a) + list(recs_b)).items():
-            paths[name] = (path, False)
+            paths[name] = (path, False, False)
+        for name, path in EXACT_METRICS.items():
+            paths[name] = (path, False, True)
         kd = KeyDiff(
             key=key, label=label, digests_match=digests_a == digests_b
         )
-        for metric, (path, higher_better) in paths.items():
+        for metric, (path, higher_better, exact) in paths.items():
             stat_a = _stat(recs_a, path)
             stat_b = _stat(recs_b, path)
             if stat_a is None or stat_b is None:
@@ -269,6 +295,7 @@ def diff_groups(
                     n_b=stat_b[2],
                     higher_is_better=higher_better,
                     empty_mismatch=empty_a != empty_b,
+                    exact=exact,
                 )
             )
         matched.append(kd)
@@ -317,10 +344,11 @@ def format_diff(diff: LogDiff) -> str:
                 else ""
             )
             noise = f" (noise band {md.noise:.4g})" if md.noise else ""
+            exact = " [exact]" if md.exact else ""
             lines.append(
                 f"  {md.metric:<24} {md.a_mean:>12.4f} -> {md.b_mean:>12.4f}"
                 f"  delta {md.delta:+.4f} ({md.rel_delta:+.2%})"
-                f"{noise}{flag}"
+                f"{noise}{exact}{flag}"
             )
     for label in diff.only_a:
         lines.append(f"only in A: {label}")

@@ -40,6 +40,7 @@ ARTIFACT_CONTEXT: Dict[str, str] = {
     "study_faults": "Study — wireless channel failures",
     "study_bursty": "Study — bursty traffic",
     "study_degradation": "Study — runtime faults, retransmission, failover",
+    "study_adaptive": "Study — closed-loop control vs static failover",
 }
 
 

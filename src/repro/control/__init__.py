@@ -1,0 +1,31 @@
+"""Closed-loop control plane for the reconfigurable wireless channels.
+
+Table III reserves channels 13-16 "to adaptively be utilized to improve
+performance" (Sec. IV); this package supplies the *loop* that actually
+drives them at runtime. A :class:`ControlLoop` runs as a simulator epoch
+hook, builds a :class:`TelemetryWindow` from link activity counters each
+epoch, asks a :class:`ControlPolicy` where the four D-antenna spares
+should point, and issues actuations through the existing layers:
+
+* spare re-pointing via
+  :class:`repro.core.reconfig.ReconfigurationController` (managed mode);
+* channel recovery -- probing failed-over channels and returning healed
+  ones to service (:meth:`FaultTolerantOwn256Routing.unfail_channel`);
+* relay reweighting for failed pairs that have no spare.
+
+Every actuation is appended to a :class:`DecisionLog` whose CRC is folded
+into run-record summaries, so control behaviour is content-addressed and
+diffable exactly like the physics. See ``docs/control.md``.
+"""
+
+from repro.control.decisions import DecisionLog
+from repro.control.loop import ControlLoop
+from repro.control.policy import AdaptiveSparePolicy, ControlPolicy, TelemetryWindow
+
+__all__ = [
+    "AdaptiveSparePolicy",
+    "ControlLoop",
+    "ControlPolicy",
+    "DecisionLog",
+    "TelemetryWindow",
+]

@@ -1,0 +1,69 @@
+"""Append-only, content-addressable control-plane decision log.
+
+Every actuation the :class:`~repro.control.loop.ControlLoop` performs is
+recorded as one JSON-safe dict. The log's canonical encoding (sorted
+keys, no whitespace -- the same convention :meth:`RunSpec.canonical_json`
+uses) is CRC'd into a single ``control_log_crc`` summary metric, giving
+``repro diff`` a byte-exact gate over the controller's entire behaviour:
+any reordered, added, dropped or altered decision changes the CRC.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+
+def _json_safe(value: object) -> object:
+    """Coerce decision payloads to plain JSON types (tuples -> lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(v) for v in value)
+    return value
+
+
+class DecisionLog:
+    """Ordered record of every control-plane decision in one run."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+        self.counts: Dict[str, int] = {}
+
+    def append(self, cycle: int, epoch: int, action: str, **detail: object) -> Dict[str, object]:
+        """Record one decision; returns the (JSON-safe) record."""
+        record: Dict[str, object] = {
+            "cycle": int(cycle),
+            "epoch": int(epoch),
+            "action": action,
+        }
+        for key, value in detail.items():
+            record[key] = _json_safe(value)
+        self.records.append(record)
+        self.counts[action] = self.counts.get(action, 0) + 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def canonical_json(self) -> str:
+        """Stable byte encoding of the full log (the CRC input)."""
+        return json.dumps(self.records, sort_keys=True, separators=(",", ":"))
+
+    def crc(self) -> int:
+        """CRC-32 of the canonical encoding (0 for an empty log is fine:
+        an empty log *is* a meaningful, diffable controller behaviour)."""
+        return zlib.crc32(self.canonical_json().encode())
+
+    def tail(self, n: int = 10) -> List[Dict[str, object]]:
+        return self.records[-n:]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "decisions": len(self.records),
+            "crc": self.crc(),
+            "actions": dict(sorted(self.counts.items())),
+        }

@@ -1,0 +1,425 @@
+"""The closed control loop: observe, decide, actuate, log.
+
+:class:`ControlLoop` is a :meth:`Simulator.add_hook` end-of-cycle hook
+(with a ``next_wake`` epoch schedule, so idle fast-forward stays enabled
+and still steps every decision boundary). Each control epoch it:
+
+1. **observes** -- builds a :class:`TelemetryWindow` from link activity
+   counters (primary-channel flit deltas, spare utilisation, per-class
+   congestion, health-monitor verdicts);
+2. **recovers** -- probes failed-over channels and returns healed ones to
+   service once ``probe_ok_needed`` consecutive probes pass (the probe is
+   a single control packet on the dedicated ``("control", "probe", link)``
+   RNG stream: it never perturbs traffic or fault-layer streams);
+3. **repairs placement** -- retries failover pins that previously failed
+   (exponential epoch backoff, bounded attempts), and evicts pins whose
+   spare hardware is itself dead (graceful degradation onto relays);
+4. **decides** -- asks the :class:`ControlPolicy` for the adaptive spare
+   plan and installs it via the managed
+   :class:`~repro.core.reconfig.ReconfigurationController`;
+5. **reweights** -- steers each spare-less failed pair's relay traffic
+   through the least-loaded live middle cluster;
+6. **guards** -- counts plan flips over a sliding window; oscillation
+   freezes the loop back to the static plan (failover pins only), the
+   safe fallback when hysteresis + dwell cannot stabilise the load.
+
+Every actuation lands in the :class:`~repro.control.decisions.DecisionLog`
+and (when a tracer is attached) a ``control`` trace event. All decisions
+are pure functions of counters + the dedicated RNG, so a spec's decision
+log is byte-stable across dense/fast-forward and serial/parallel runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.control.decisions import DecisionLog
+from repro.control.policy import AdaptiveSparePolicy, ControlPolicy, TelemetryWindow
+from repro.utils.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.links import Link
+    from repro.noc.simulator import Simulator
+
+Pair = Tuple[int, int]
+
+
+class _PinRetry:
+    """Backoff state for one pair whose spare pin keeps failing."""
+
+    __slots__ = ("attempts", "next_epoch", "given_up")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.next_epoch = 0
+        self.given_up = False
+
+
+class ControlLoop:
+    """Deterministic epoch-driven controller for the spare channels.
+
+    Parameters
+    ----------
+    routing:
+        A :class:`~repro.core.faults.FaultTolerantOwn256Routing` (needs
+        ``fail_channel`` / ``unfail_channel`` / ``prefer_relay``).
+    reconfig:
+        The :class:`~repro.core.reconfig.ReconfigurationController`; the
+        loop switches it to managed mode and owns its ``desired`` list.
+    layer:
+        Optional :class:`~repro.faults.linklayer.FaultLayer`; without one
+        (fault-free run) the probe/recovery path is inert and the loop
+        only steers spares by load.
+    monitor:
+        Optional :class:`~repro.faults.monitor.HealthMonitor`, informed
+        after recoveries so stale counters cannot re-condemn a channel.
+    policy:
+        The placement policy (default: :class:`AdaptiveSparePolicy` with
+        the given hysteresis/dwell).
+    epoch_cycles:
+        Decision interval.
+    probe_ok_needed, probe_size_flits:
+        Consecutive successful probes required to un-fail a channel, and
+        the modelled probe-packet size for the CRC-success odds.
+    retry_base_epochs, retry_cap_epochs, max_pin_attempts:
+        Failover-pin retry schedule: the n-th retry waits
+        ``min(cap, base * 2**(n-1))`` epochs; after ``max_pin_attempts``
+        the pair is abandoned to relay routes.
+    osc_window, osc_threshold:
+        Freeze (fall back to the static plan) when the adaptive plan
+        changed in >= ``osc_threshold`` of the last ``osc_window`` epochs.
+    rng:
+        Dedicated :class:`RngStreams` for probe outcomes.
+    """
+
+    def __init__(
+        self,
+        routing,
+        reconfig,
+        layer=None,
+        monitor=None,
+        policy: Optional[ControlPolicy] = None,
+        epoch_cycles: int = 250,
+        hysteresis: float = 1.25,
+        min_dwell_epochs: int = 2,
+        probe_ok_needed: int = 2,
+        probe_size_flits: int = 1,
+        retry_base_epochs: int = 1,
+        retry_cap_epochs: int = 8,
+        max_pin_attempts: int = 5,
+        osc_window: int = 8,
+        osc_threshold: int = 6,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        if epoch_cycles < 1:
+            raise ValueError(f"epoch_cycles must be >= 1, got {epoch_cycles}")
+        if probe_ok_needed < 1:
+            raise ValueError("probe_ok_needed must be >= 1")
+        if osc_threshold < 2 or osc_window < osc_threshold:
+            raise ValueError("need 2 <= osc_threshold <= osc_window")
+        self.routing = routing
+        self.reconfig = reconfig
+        self.layer = layer
+        self.monitor = monitor
+        self.policy = policy or AdaptiveSparePolicy(
+            hysteresis=hysteresis, min_dwell_epochs=min_dwell_epochs
+        )
+        self.epoch_cycles = epoch_cycles
+        self.probe_ok_needed = probe_ok_needed
+        self.probe_size_flits = probe_size_flits
+        self.retry_base_epochs = retry_base_epochs
+        self.retry_cap_epochs = retry_cap_epochs
+        self.max_pin_attempts = max_pin_attempts
+        self.osc_window = osc_window
+        self.osc_threshold = osc_threshold
+        self.rng = rng or RngStreams(0)
+        self.log = DecisionLog()
+
+        reconfig.managed = True
+        self.epochs = 0
+        self.frozen = False
+        self.recovered_channels = 0
+        self._desired: List[Pair] = []
+        self._flips: Deque[bool] = deque(maxlen=osc_window)
+        self._probe_ok: Dict["Link", int] = {}
+        self._pin_retry: Dict[Pair, _PinRetry] = {}
+        self._relay_pref: Dict[Pair, int] = {}
+        # Window counter snapshots, keyed by ordered cluster pair.
+        self._prim_snap: Dict[Pair, int] = {
+            pair: link.flits_carried for pair, link in reconfig.primary_links.items()
+        }
+        self._spare_snap: Dict[Pair, int] = {
+            pair: link.flits_carried for pair, link in reconfig.spare_links.items()
+        }
+        self._pair_of_link: Dict["Link", Pair] = {
+            link: pair for pair, link in reconfig.primary_links.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scheduling protocol (see Simulator.add_hook)
+    # ------------------------------------------------------------------ #
+
+    def next_wake(self, now: int) -> int:
+        if now <= 0:
+            return self.epoch_cycles
+        if now % self.epoch_cycles == 0:
+            return now
+        return (now // self.epoch_cycles + 1) * self.epoch_cycles
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def _build_window(self, now: int) -> TelemetryWindow:
+        pair_flits: Dict[Pair, int] = {}
+        spare_flits: Dict[Pair, int] = {}
+        class_flits: Dict[str, int] = {}
+        for pair in sorted(self._pair_of_link.values()):
+            link = self.reconfig.primary_links[pair]
+            delta = link.flits_carried - self._prim_snap[pair]
+            self._prim_snap[pair] = link.flits_carried
+            pair_flits[pair] = delta
+            cls = self.routing.channel_map[pair].distance_class
+            class_flits[cls] = class_flits.get(cls, 0) + delta
+        for pair in sorted(self.reconfig.spare_links):
+            link = self.reconfig.spare_links[pair]
+            delta = link.flits_carried - self._spare_snap[pair]
+            self._spare_snap[pair] = link.flits_carried
+            spare_flits[pair] = delta
+        return TelemetryWindow(
+            epoch=self.epochs,
+            cycle=now,
+            pair_flits=pair_flits,
+            spare_flits=spare_flits,
+            class_flits=class_flits,
+            failed_pairs=set(self.routing.failed_pairs),
+        )
+
+    def _spare_healthy(self, pair: Pair) -> bool:
+        """Is the spare D->D hardware for ``pair`` usable right now?"""
+        link = self.reconfig.spare_links.get(pair)
+        if link is None:
+            return False
+        state = getattr(link, "fault", None)
+        return state is None or not (state.dead or state.failed_over)
+
+    # ------------------------------------------------------------------ #
+    # The epoch step
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, sim: "Simulator") -> None:
+        if sim.now <= 0 or sim.now % self.epoch_cycles != 0:
+            return
+        self.epochs += 1
+        now = sim.now
+        window = self._build_window(now)
+        self._probe_failed_channels(sim, now)
+        self._evict_faulty_pins(sim, now)
+        self._retry_pins(sim, now)
+        if not self.frozen:
+            self._decide_spares(sim, window, now)
+        self._reweight_relays(sim, window, now)
+
+    # ---------------- recovery: probe + unfail ---------------- #
+
+    def _probe_failed_channels(self, sim: "Simulator", now: int) -> None:
+        if self.layer is None:
+            return
+        flit_bits = self.layer.network.flit_width_bits
+        for link in sorted(self.layer.protected, key=lambda l: l.name):
+            state = link.fault
+            if not state.failed_over:
+                continue
+            pair = self._pair_of_link.get(link)
+            if pair is None:
+                continue  # spare hardware heals via _evict_faulty_pins
+            if state.dead:
+                ok = False
+            else:
+                p_err = state.attempt_error_prob(flit_bits, self.probe_size_flits)
+                if p_err <= 0.0:
+                    ok = True
+                elif p_err >= 1.0:
+                    ok = False
+                else:
+                    ok = self.rng.get("control", "probe", link.name).random() >= p_err
+            streak = self._probe_ok.get(link, 0) + 1 if ok else 0
+            self._probe_ok[link] = streak
+            self._emit(sim, now, "probe", link=link.name, pair=pair, ok=ok,
+                       streak=streak)
+            if streak >= self.probe_ok_needed:
+                self._recover_channel(sim, link, pair, now)
+
+    def _recover_channel(self, sim: "Simulator", link: "Link", pair: Pair,
+                         now: int) -> None:
+        self.layer.unquiesce_link(link, now)
+        self.routing.unfail_channel(*pair)
+        self.reconfig.unpin(pair)
+        self._pin_retry.pop(pair, None)
+        self._relay_pref.pop(pair, None)
+        if self.monitor is not None:
+            self.monitor.notice_recovery(link)
+        self._probe_ok.pop(link, None)
+        self.recovered_channels += 1
+        sim.stats.channels_recovered += 1
+        self._emit(sim, now, "unfail", link=link.name, pair=pair)
+
+    # ---------------- placement repair: pins ---------------- #
+
+    def _relay_exists(self, pair: Pair) -> bool:
+        cs, cd = pair
+        return any(
+            cx not in (cs, cd)
+            and self.routing.alive(cs, cx)
+            and self.routing.alive(cx, cd)
+            for cx in range(self.routing.dims.clusters)
+        )
+
+    def _evict_faulty_pins(self, sim: "Simulator", now: int) -> None:
+        """Unpin failover spares whose own hardware died (a pinned spare
+        that silently eats traffic into the recovery path is a livelock:
+        recovered packets would re-route straight back onto it). A pin
+        whose pair has no live relay left is kept -- churning through the
+        dead spare's recovery path at least keeps packets in the system,
+        where unpinning would make the pair unroutable."""
+        for pair in list(self.reconfig.pinned):
+            if self._spare_healthy(pair):
+                continue
+            if pair in self.routing.failed_pairs and not self._relay_exists(pair):
+                continue
+            self.reconfig.unpin(pair)
+            retry = self._pin_retry.setdefault(pair, _PinRetry())
+            retry.attempts += 1
+            retry.next_epoch = self.epochs + self._backoff_epochs(retry.attempts)
+            self._emit(sim, now, "unpin_faulty", pair=pair,
+                       attempts=retry.attempts)
+
+    def _backoff_epochs(self, attempts: int) -> int:
+        return min(self.retry_cap_epochs,
+                   self.retry_base_epochs * (1 << (attempts - 1)))
+
+    def _retry_pins(self, sim: "Simulator", now: int) -> None:
+        """Bounded retry-with-backoff for failed pairs without a spare."""
+        for pair in sorted(self.routing.failed_pairs):
+            if pair in self.reconfig.pinned:
+                continue
+            retry = self._pin_retry.setdefault(pair, _PinRetry())
+            if retry.given_up or self.epochs < retry.next_epoch:
+                continue
+            if self._spare_healthy(pair):
+                try:
+                    self.reconfig.pin(pair)
+                except ValueError:
+                    pass
+                else:
+                    self._pin_retry.pop(pair, None)
+                    self._emit(sim, now, "pin", pair=pair,
+                               attempts=retry.attempts + 1)
+                    continue
+            retry.attempts += 1
+            if retry.attempts >= self.max_pin_attempts:
+                retry.given_up = True
+                self._emit(sim, now, "pin_giveup", pair=pair,
+                           attempts=retry.attempts)
+            else:
+                retry.next_epoch = self.epochs + self._backoff_epochs(retry.attempts)
+                self._emit(sim, now, "pin_retry", pair=pair,
+                           attempts=retry.attempts,
+                           next_epoch=retry.next_epoch)
+
+    # ---------------- adaptive placement + oscillation guard ------------ #
+
+    def _decide_spares(self, sim: "Simulator", window: TelemetryWindow,
+                       now: int) -> None:
+        eligible = [
+            pair
+            for pair in sorted(self.reconfig.spare_links)
+            if pair not in window.failed_pairs and self._spare_healthy(pair)
+        ]
+        desired = self.policy.decide(
+            window, self.epochs, list(self.reconfig.pinned), eligible
+        )
+        flipped = set(desired) != set(self._desired)
+        self._flips.append(flipped)
+        if (
+            len(self._flips) == self.osc_window
+            and sum(self._flips) >= self.osc_threshold
+        ):
+            self._freeze(sim, now)
+            return
+        if flipped:
+            self._desired = list(desired)
+            self.reconfig.set_desired(desired)
+            self._emit(sim, now, "plan", desired=desired,
+                       pinned=list(self.reconfig.pinned),
+                       class_flits=window.class_flits)
+
+    def _freeze(self, sim: "Simulator", now: int) -> None:
+        """Oscillation fallback: pin-only static plan, adaptation off.
+
+        Recovery probing and failover pinning keep running -- only the
+        load-chasing placement stops, which is what was thrashing.
+        """
+        self.frozen = True
+        self._desired = []
+        self.policy.reset()
+        self.reconfig.set_desired([])
+        self._emit(sim, now, "freeze", flips=int(sum(self._flips)),
+                   window=self.osc_window)
+
+    # ---------------- relay reweighting ---------------- #
+
+    def _reweight_relays(self, sim: "Simulator", window: TelemetryWindow,
+                         now: int) -> None:
+        """Steer spare-less failed pairs through the coolest live relay."""
+        clusters = range(self.routing.dims.clusters)
+        for pair in sorted(self.routing.failed_pairs):
+            cs, cd = pair
+            if self.reconfig.boosted(cs, cd) is not None:
+                continue  # traffic rides the pinned spare, not a relay
+            best: Optional[int] = None
+            best_load = 0
+            for cx in clusters:
+                if cx in (cs, cd):
+                    continue
+                if not (self.routing.alive(cs, cx) and self.routing.alive(cx, cd)):
+                    continue
+                load = window.demand((cs, cx)) + window.demand((cx, cd))
+                if best is None or load < best_load:
+                    best, best_load = cx, load
+            if best is not None and self._relay_pref.get(pair) != best:
+                self._relay_pref[pair] = best
+                self.routing.prefer_relay(cs, cd, best)
+                self._emit(sim, now, "relay", pair=pair, via=best,
+                           load=best_load)
+
+    # ------------------------------------------------------------------ #
+    # Logging + reporting
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, sim: "Simulator", now: int, action: str, **detail) -> None:
+        record = self.log.append(now, self.epochs, action, **detail)
+        tracer = sim._tracer
+        if tracer is not None:
+            tracer.on_control(action, record, now)
+
+    def summary_metrics(self) -> Dict[str, float]:
+        """Flat floats folded into the run-record summary (diff-gated)."""
+        return {
+            "control_epochs": float(self.epochs),
+            "control_decisions": float(len(self.log)),
+            "control_log_crc": float(self.log.crc()),
+            "control_frozen": float(self.frozen),
+            "channels_recovered_ctl": float(self.recovered_channels),
+        }
+
+    def meta_payload(self) -> Dict[str, object]:
+        """The decision log + loop state for ``RunResult.meta['control']``."""
+        return {
+            "epochs": self.epochs,
+            "frozen": self.frozen,
+            "recovered_channels": self.recovered_channels,
+            "log": self.log.summary(),
+            "decisions": list(self.log.records),
+        }

@@ -1,0 +1,172 @@
+"""Control policies: from a telemetry window to a spare-placement plan.
+
+The policy layer is deliberately pure: a :class:`ControlPolicy` sees a
+:class:`TelemetryWindow` (built each epoch by the loop from link activity
+counters, never from the tracer -- see the determinism note below) and
+returns the ordered list of cluster pairs that should hold the four
+D-antenna spare channels. All actuation, logging and safety machinery
+lives in :class:`~repro.control.loop.ControlLoop`; policies only rank.
+
+Determinism note: windows are derived from ``Link.flits_carried`` deltas,
+exactly like :class:`ReconfigurationController.utilisation_last_epoch`,
+*not* from telemetry events. Attaching or detaching a
+:class:`~repro.telemetry.tracer.Tracer` therefore cannot change control
+decisions, preserving the "traced runs are bit-identical to untraced
+runs" invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.reconfig import N_SPARE_CHANNELS
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class TelemetryWindow:
+    """One control epoch's view of the network, from link counters.
+
+    Attributes
+    ----------
+    epoch, cycle:
+        The control epoch ordinal and the cycle it closed at.
+    pair_flits:
+        Flits carried by each *primary* wireless channel during the
+        window, keyed by ordered cluster pair (congestion signal).
+    spare_flits:
+        Flits carried during the window by the spare assigned to a pair
+        (0 for unassigned pairs); demand served off the primary path.
+    class_flits:
+        The window's wireless traffic aggregated by distance class
+        (C2C / E2E / SR) -- the per-channel-class congestion summary.
+    failed_pairs:
+        Pairs whose primary channel the health monitor has retired
+        (the monitor's verdicts, as routing currently sees them).
+    """
+
+    epoch: int
+    cycle: int
+    pair_flits: Dict[Pair, int] = field(default_factory=dict)
+    spare_flits: Dict[Pair, int] = field(default_factory=dict)
+    class_flits: Dict[str, int] = field(default_factory=dict)
+    failed_pairs: Set[Pair] = field(default_factory=set)
+
+    def demand(self, pair: Pair) -> int:
+        """Total inter-cluster demand observed for ``pair`` this window."""
+        return self.pair_flits.get(pair, 0) + self.spare_flits.get(pair, 0)
+
+
+def feasible_with(chosen: Sequence[Pair], pair: Pair) -> bool:
+    """The D-antenna constraint: one outgoing + one incoming spare per
+    cluster (mirrors :meth:`ReconfigurationController._feasible`)."""
+    src, dst = pair
+    for (s, d) in chosen:
+        if s == src or d == dst:
+            return False
+    return True
+
+
+class ControlPolicy:
+    """Interface: rank where the spare channels should point.
+
+    ``decide`` receives the window, the current epoch ordinal, the pairs
+    already consuming spare slots unconditionally (failover pins), and
+    the pairs eligible for adaptive placement (healthy spare hardware).
+    It returns an ordered wish list; the controller installs the feasible
+    prefix after the pins.
+    """
+
+    def decide(
+        self,
+        window: TelemetryWindow,
+        epoch: int,
+        pinned: Sequence[Pair],
+        eligible: Sequence[Pair],
+    ) -> List[Pair]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop internal state (used when the loop freezes the plan)."""
+
+
+class AdaptiveSparePolicy(ControlPolicy):
+    """Greedy hottest-pairs placement with hysteresis and minimum dwell.
+
+    Two anti-thrash mechanisms keep the plan stable under noisy load:
+
+    * **hysteresis** -- an incumbent pair's demand is multiplied by
+      ``hysteresis`` (>= 1.0) before ranking, so a challenger must beat
+      it by a margin, not by a single flit;
+    * **minimum dwell** -- a pair admitted at epoch *e* cannot be evicted
+      before epoch ``e + min_dwell_epochs`` while it still shows demand
+      (dead weight is always evictable).
+
+    Ranking ties break on the smaller pair, so equal-demand epochs are
+    order-deterministic.
+    """
+
+    def __init__(self, hysteresis: float = 1.25, min_dwell_epochs: int = 2) -> None:
+        if hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be >= 1.0, got {hysteresis}")
+        if min_dwell_epochs < 0:
+            raise ValueError("min_dwell_epochs must be >= 0")
+        self.hysteresis = hysteresis
+        self.min_dwell_epochs = min_dwell_epochs
+        #: The current adaptive plan (excludes pinned pairs).
+        self.plan: List[Pair] = []
+        #: Epoch each planned pair was (last) admitted.
+        self.admitted: Dict[Pair, int] = {}
+
+    def reset(self) -> None:
+        self.plan = []
+        self.admitted = {}
+
+    def _score(self, window: TelemetryWindow, pair: Pair) -> float:
+        demand = float(window.demand(pair))
+        if pair in self.plan:
+            demand *= self.hysteresis
+        return demand
+
+    def decide(
+        self,
+        window: TelemetryWindow,
+        epoch: int,
+        pinned: Sequence[Pair],
+        eligible: Sequence[Pair],
+    ) -> List[Pair]:
+        chosen: List[Pair] = list(pinned)
+        plan: List[Pair] = []
+        # Dwell-protected incumbents first: still eligible, still within
+        # their dwell window, still carrying demand.
+        for pair in self.plan:
+            if (
+                pair in eligible
+                and epoch - self.admitted.get(pair, epoch) < self.min_dwell_epochs
+                and window.demand(pair) > 0
+                and len(chosen) < N_SPARE_CHANNELS
+                and feasible_with(chosen, pair)
+            ):
+                chosen.append(pair)
+                plan.append(pair)
+        # Then the hysteresis-weighted demand ranking over everything else.
+        ranked = sorted(
+            (p for p in eligible if p not in plan),
+            key=lambda p: (-self._score(window, p), p),
+        )
+        for pair in ranked:
+            if len(chosen) >= N_SPARE_CHANNELS:
+                break
+            if window.demand(pair) <= 0:
+                break  # ranked order: everything after is idle too
+            if pair not in chosen and feasible_with(chosen, pair):
+                chosen.append(pair)
+                plan.append(pair)
+        self.admitted = {
+            pair: self.admitted.get(pair, epoch) if pair in self.plan else epoch
+            for pair in plan
+        }
+        self.plan = plan
+        return plan

@@ -48,6 +48,24 @@ class FaultTolerantOwn256Routing(Own256Routing):
         super().__init__(*args, **kwargs)
         self.failed_pairs: Set[Tuple[int, int]] = set()
         self.relayed_packets = 0
+        #: Control-plane relay steering: ``(cs, cd) -> cx`` forces relayed
+        #: traffic for a failed pair through middle cluster ``cx`` when
+        #: that relay is live (see :meth:`prefer_relay`).
+        self.relay_preference: Dict[Tuple[int, int], int] = {}
+        self.unfailed_channels = 0
+        # Inverse maps so allowed_vcs() can classify a hop from the
+        # *chosen out-port* alone (see the method's docstring): primary
+        # channel index -> ordered cluster pair, (rid, photonic port) ->
+        # neighbour rid, and sender-gateway rid -> channel index.
+        self._pair_of_channel: Dict[int, Tuple[int, int]] = {
+            a.channel_index: pair for pair, a in self.channel_map.items()
+        }
+        self._photonic_dst: Dict[Tuple[int, int], int] = {
+            (rid, port): dst for (rid, dst), port in self.photonic_port.items()
+        }
+        self._gateway_channel: Dict[int, int] = {
+            rid: idx for idx, rid in self.gateway_rid.items()
+        }
 
     # ---------------- fault management ---------------- #
 
@@ -66,22 +84,68 @@ class FaultTolerantOwn256Routing(Own256Routing):
         ------
         UnroutableError
             If the failure leaves some pair with no relay (e.g. every
-            channel out of a cluster dead).
+            channel out of a cluster dead). The channel is then NOT
+            marked failed -- the failure is rolled back so routing state
+            stays self-consistent and callers can keep the link in
+            degraded (retransmitting) service instead.
         """
-        self.failed_pairs.add((src_cluster, dst_cluster))
-        # Verify every ordered pair can still route.
-        for cs in range(self.dims.clusters):
-            for cd in range(self.dims.clusters):
-                if cs != cd:
-                    self._next_cluster(cs, cd)  # raises if stuck
+        pair = (src_cluster, dst_cluster)
+        already = pair in self.failed_pairs
+        self.failed_pairs.add(pair)
+        try:
+            # Verify every ordered pair can still route.
+            for cs in range(self.dims.clusters):
+                for cd in range(self.dims.clusters):
+                    if cs != cd:
+                        self._next_cluster(cs, cd)  # raises if stuck
+        except UnroutableError:
+            if not already:
+                self.failed_pairs.discard(pair)
+            raise
 
     def restore_channel(self, src_cluster: int, dst_cluster: int) -> None:
         self.failed_pairs.discard((src_cluster, dst_cluster))
+
+    def unfail_channel(self, src_cluster: int, dst_cluster: int) -> bool:
+        """Return a healed channel to service (control-plane recovery).
+
+        The probe-confirmed inverse of :meth:`fail_channel`: subsequent
+        route computations use the direct channel again, and any relay
+        preference for the pair is dropped. Returns ``True`` when the pair
+        was actually marked failed.
+        """
+        if (src_cluster, dst_cluster) not in self.failed_pairs:
+            return False
+        self.failed_pairs.discard((src_cluster, dst_cluster))
+        self.relay_preference.pop((src_cluster, dst_cluster), None)
+        self.unfailed_channels += 1
+        return True
+
+    def prefer_relay(self, cs: int, cd: int, via: Optional[int]) -> None:
+        """Steer the (cs, cd) relay through middle cluster ``via``.
+
+        ``None`` clears the preference (back to first-feasible scan). A
+        preference for a relay that later dies is ignored by
+        :meth:`_relay_for` rather than raising, so a stale preference can
+        degrade placement but never correctness.
+        """
+        if via is None:
+            self.relay_preference.pop((cs, cd), None)
+        else:
+            self.relay_preference[(cs, cd)] = via
 
     def alive(self, cs: int, cd: int) -> bool:
         return (cs, cd) not in self.failed_pairs
 
     def _relay_for(self, cs: int, cd: int) -> int:
+        preferred = self.relay_preference.get((cs, cd))
+        if (
+            preferred is not None
+            and preferred not in (cs, cd)
+            and self.alive(cs, preferred)
+            and self.alive(preferred, cd)
+        ):
+            return preferred
         for cx in range(self.dims.clusters):
             if cx in (cs, cd):
                 continue
@@ -140,19 +204,56 @@ class FaultTolerantOwn256Routing(Own256Routing):
         return self.photonic_port[(rid, gateway)]
 
     def allowed_vcs(self, router: Router, out_port: int, packet) -> Sequence[int]:
+        """VC discipline derived from the *chosen out-port*, not fault state.
+
+        The route (``out_port``) is computed once per packet per router,
+        but VC allocation can retry for many cycles afterwards. If the
+        VC classes were derived from the *current* ``failed_pairs`` (as
+        ``_legs_remaining`` does), a fail/unfail flip between those two
+        moments would hand a first-leg packet a final-leg VC (or vice
+        versa), breaking the strictly increasing resource order that
+        makes the discipline deadlock-free. Classifying the hop from the
+        out-port itself -- which channel it is, or which gateway the
+        photonic hop ascends to -- keeps every grant consistent with the
+        route the packet is actually on. In steady state this is exactly
+        the ``_legs_remaining`` answer; it differs only inside
+        reconfiguration windows, where it is the safe one.
+        """
         link = router.out_links[out_port]
         dst_rid = self._dst_rid(packet)
         _, c_dst, _ = self._gct(dst_rid)
         _, c_cur, _ = self._gct(router.rid)
-        legs = self._legs_remaining(c_cur, c_dst)
-        if link.kind == "photonic":
-            if legs == 0:
-                return (2, 3)  # descending
-            if legs == 1:
-                return (1,)  # single / middle ascent
-            return (0,)  # first-leg ascent of a relayed packet
         if link.kind == "wireless":
-            return (2, 3) if legs == 1 else (0, 1)
+            pair = self._pair_of_channel.get(link.channel_id)
+            if pair is not None and pair[1] != c_dst:
+                return (0, 1)  # first leg of a relayed packet
+            # Direct/final-leg primary, or a spare D->D channel (spares
+            # only ever carry single-leg traffic).
+            return (2, 3)
+        if link.kind == "photonic":
+            if c_cur == c_dst:
+                return (2, 3)  # descending
+            if (
+                router.rid == self.spare_gateway_rid.get(c_cur)
+                and self.net.core_router[packet.src_core] != router.rid
+            ):
+                # Re-ascent out of the D gateway. A remote packet only
+                # sits here because a mid-flight reconfiguration revoked
+                # the spare it was routed to; its second photonic ascent
+                # must not reuse the VC1 class its first ascent (and the
+                # ascents of packets still heading *toward* D) occupy, or
+                # the two directions wait on each other -- observed as a
+                # D<->A VC1 cycle after a fail/recover churn. VC0 keeps
+                # the resource order strict: ph0 < w{0,1} < ph1 < ...
+                # holds whether the restart is a relay first leg or a
+                # direct hop (w{2,3} > ph0 too). Packets *originating*
+                # on the D tile keep VC1 -- steady state is untouched.
+                return (0,)
+            nxt = self._photonic_dst.get((router.rid, out_port))
+            ch = self._gateway_channel.get(nxt)
+            if ch is not None and self._pair_of_channel[ch][1] != c_dst:
+                return (0,)  # first-leg ascent of a relayed packet
+            return (1,)  # single / middle / spare-gateway ascent
         return range(router.num_vcs)
 
 

@@ -74,6 +74,14 @@ class ReconfigurationController:
         #: Pairs permanently holding a spare (failover; see :meth:`pin`).
         #: Assigned before utilisation-ranked candidates on every epoch.
         self.pinned: List[Tuple[int, int]] = []
+        #: ``True`` when an external control plane (:mod:`repro.control`)
+        #: owns spare placement: :meth:`reassign` then installs the pinned
+        #: pairs plus the controller-set :attr:`desired` list instead of
+        #: ranking by utilisation itself.
+        self.managed = False
+        #: Managed-mode placement wish list (ordered), set via
+        #: :meth:`set_desired` by the control plane.
+        self.desired: List[Tuple[int, int]] = []
         self._last_counts: Dict[Tuple[int, int], int] = {
             pair: 0 for pair in primary_links
         }
@@ -125,13 +133,41 @@ class ReconfigurationController:
         self.pinned.append(pair)
         self.reassign()
 
+    def unpin(self, pair: Tuple[int, int]) -> bool:
+        """Release a failover pin (the pair's channel recovered).
+
+        Returns ``True`` when the pair was pinned; the freed spare goes
+        back into the normal placement pool on the immediate reassign.
+        """
+        if pair not in self.pinned:
+            return False
+        self.pinned.remove(pair)
+        self.reassign()
+        return True
+
+    def set_desired(self, pairs: List[Tuple[int, int]]) -> None:
+        """Hand spare placement to a control plane (managed mode).
+
+        ``pairs`` is an ordered wish list; :meth:`reassign` installs the
+        feasible prefix after the pinned failover pairs. Implies
+        ``managed=True`` for every subsequent epoch.
+        """
+        self.managed = True
+        self.desired = list(pairs)
+        self.reassign()
+
     def reassign(self) -> None:
         """Give the spares to the hottest cluster pairs (greedy, feasible).
 
-        Pinned (failover) pairs are assigned first, unconditionally.
+        Pinned (failover) pairs are assigned first, unconditionally. In
+        managed mode the utilisation ranking is replaced by the control
+        plane's :attr:`desired` list (see :meth:`set_desired`).
         """
         usage = self.utilisation_last_epoch()
-        ranked = sorted(usage.items(), key=lambda kv: kv[1], reverse=True)
+        if self.managed:
+            ranked = [(pair, 1) for pair in self.desired]
+        else:
+            ranked = sorted(usage.items(), key=lambda kv: kv[1], reverse=True)
         chosen: List[Tuple[int, int]] = list(self.pinned)
         for pair, flits in ranked:
             if flits == 0 or len(chosen) >= N_SPARE_CHANNELS:
@@ -158,6 +194,19 @@ class ReconfigurationController:
         if sim.now > 0 and sim.now % self.epoch_cycles == 0:
             self.epochs += 1
             self.reassign()
+
+    def next_wake(self, now: int) -> int:
+        """Next epoch boundary (a scheduled fast-forward wake source).
+
+        Lets the active-set simulator keep idle fast-forward enabled with
+        this hook installed: the clock may skip quiescent stretches but
+        must step every epoch boundary, where :meth:`__call__` acts.
+        """
+        if now <= 0:
+            return self.epoch_cycles
+        if now % self.epoch_cycles == 0:
+            return now
+        return (now // self.epoch_cycles + 1) * self.epoch_cycles
 
     def boosted(self, src_cluster: int, dst_cluster: int) -> Optional[SpareAssignment]:
         return self.assignments.get((src_cluster, dst_cluster))

@@ -577,3 +577,18 @@ class FaultLayer:
                 entry = entries.pop(pid)
                 self._recover(link, entry.packet, now)
         self._active.add(link)
+
+    def unquiesce_link(self, link: Link, now: int) -> None:
+        """Return a retired channel to service (the fault healed).
+
+        The inverse of :meth:`quiesce_link` for *transient* outages: the
+        control plane's probes confirmed the transceiver answers again, so
+        new attempts may use the link. Protocol counters that feed the
+        health monitor's silent-channel verdict are reset; cumulative
+        statistics (attempts, retransmissions, ...) are kept.
+        """
+        state = link.fault
+        state.failed_over = False
+        state.consecutive_failures = 0
+        if self._tracer is not None:
+            self._tracer.on_recovery(link, now)

@@ -120,6 +120,30 @@ class HealthMonitor:
 
             audit_network(sim)
 
+    def next_wake(self, now: int) -> int:
+        """Next epoch boundary (a scheduled fast-forward wake source).
+
+        Keeps idle fast-forward enabled with this hook installed: the
+        clock may skip quiescent stretches but must step every epoch
+        boundary, where :meth:`__call__` classifies channels.
+        """
+        if now <= 0:
+            return self.epoch_cycles
+        if now % self.epoch_cycles == 0:
+            return now
+        return (now // self.epoch_cycles + 1) * self.epoch_cycles
+
+    def notice_recovery(self, link: "Link") -> None:
+        """Reset health state after a control plane un-fails ``link``.
+
+        Clears the noisy-epoch strike count and re-snapshots the attempt
+        counters so stale deltas from before the outage cannot re-condemn
+        a channel that just returned to service.
+        """
+        state = self.layer.protected[link]
+        self._strikes[link] = 0
+        self._snap[link] = (state.attempts, state.corrupt_attempts)
+
     # ------------------------------------------------------------------ #
 
     def _pair_for(self, link: "Link") -> Optional[Tuple[int, int]]:

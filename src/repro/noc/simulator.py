@@ -150,6 +150,10 @@ class Simulator:
                     wake_ni(ni)
         self._flit_width = network.flit_width_bits
         self._hooks: List[Callable[["Simulator"], None]] = []
+        #: True while every registered hook advertises its epoch boundaries
+        #: via ``next_wake`` (vacuously true with no hooks) -- the condition
+        #: for keeping idle fast-forward enabled alongside hooks.
+        self._hooks_schedulable = True
         self._paused_traffic: Optional[object] = None
         self._faults = faults
         #: Per-simulation packet-id source. Bound to the traffic process so
@@ -173,10 +177,22 @@ class Simulator:
         """Register a callable invoked at the end of every cycle.
 
         Used by adaptive controllers (e.g. the reconfiguration-channel
-        manager in :mod:`repro.core.reconfig`) that observe network state
-        and adjust policy on epoch boundaries.
+        manager in :mod:`repro.core.reconfig` and the control plane in
+        :mod:`repro.control`) that observe network state and adjust policy
+        on epoch boundaries.
+
+        A hook that acts only on epoch boundaries may advertise them by
+        exposing ``next_wake(now) -> Optional[int]`` (the earliest cycle
+        >= ``now`` at which it must observe a stepped cycle). When *every*
+        registered hook does, idle fast-forward stays enabled and the
+        boundaries become scheduled wake sources -- the clock can never
+        jump over a control epoch. A hook without ``next_wake`` forces
+        dense stepping (it might act on any cycle).
         """
         self._hooks.append(hook)
+        self._hooks_schedulable = all(
+            hasattr(h, "next_wake") for h in self._hooks
+        )
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -472,6 +488,13 @@ class Simulator:
             cycle = now if now % every == 0 else ((now // every) + 1) * every
             if cycle < target:
                 target = cycle
+        # Hook epoch boundaries are scheduled events: a skip may never jump
+        # over a control epoch, or an adaptive controller would silently
+        # diverge from dense stepping (where it observes every cycle).
+        for hook in self._hooks:
+            cycle = hook.next_wake(now)
+            if cycle is not None and cycle < target:
+                target = cycle
         if target <= now:
             return now
         if self.traffic is not None:
@@ -484,15 +507,17 @@ class Simulator:
         return target
 
     def _can_fast_forward(self) -> bool:
-        # End-of-cycle hooks (adaptive controllers) observe every cycle, so
-        # their presence forces dense stepping.
-        return not self.dense and not self._hooks and self._quiescent()
+        # End-of-cycle hooks that declare their epoch boundaries
+        # (``next_wake``) become wake sources in :meth:`_next_wake`; a hook
+        # without one might act on any cycle and forces dense stepping.
+        return not self.dense and self._hooks_schedulable and self._quiescent()
 
     def run(self, cycles: int) -> None:
         """Advance the simulation by ``cycles`` cycles.
 
         Idle stretches are fast-forwarded to the next wake source unless
-        ``dense=True`` was requested (or end-of-cycle hooks are installed).
+        ``dense=True`` was requested (or an end-of-cycle hook without a
+        ``next_wake`` epoch schedule is installed).
         Fast-forwarded cycles are no-ops by construction, so both modes
         execute the identical sequence of effective cycles.
         """

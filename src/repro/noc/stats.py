@@ -115,6 +115,7 @@ class StatsCollector:
         self.timeouts = 0
         self.packets_recovered = 0
         self.channels_failed_over = 0
+        self.channels_recovered = 0
 
     # ------------------------------------------------------------------ #
     # Event hooks (called by the simulator)
@@ -197,6 +198,7 @@ class StatsCollector:
             "timeouts": self.timeouts,
             "packets_recovered": self.packets_recovered,
             "channels_failed_over": self.channels_failed_over,
+            "channels_recovered": self.channels_recovered,
         }
 
     def summary(self, end_cycle: int) -> Dict[str, Optional[float]]:

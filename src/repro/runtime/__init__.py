@@ -3,8 +3,9 @@
 ``repro.runtime`` is the single substrate sweeps, experiments,
 design-space exploration and benchmarks submit work to:
 
-- :class:`RunSpec` / :class:`TrafficSpec` / :class:`FaultSpec` --
-  frozen, hashable descriptions of one simulation point.
+- :class:`RunSpec` / :class:`TrafficSpec` / :class:`FaultSpec` /
+  :class:`ControlSpec` -- frozen, hashable descriptions of one
+  simulation point.
 - :class:`Executor` -- serial or multiprocessing execution with
   bit-identical results, content-addressed caching
   (:class:`ResultCache`) and JSONL run records (:class:`RunLog`).
@@ -15,6 +16,7 @@ See ``docs/runtime.md`` for the full tour.
 
 from repro.runtime.spec import (
     SCHEMA_VERSION,
+    ControlSpec,
     FaultSpec,
     RunSpec,
     TrafficSpec,
@@ -44,6 +46,7 @@ from repro.runtime.executor import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ControlSpec",
     "FaultSpec",
     "RunSpec",
     "TrafficSpec",

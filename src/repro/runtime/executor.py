@@ -102,12 +102,22 @@ class RunResult:
 
 
 def _make_traffic(spec: TrafficSpec, n_cores: int, stop_cycle: Optional[int]):
+    pattern = spec.pattern
+    if pattern.upper() == "HOT" and (spec.hotspots or spec.hotspot_fraction != 0.2):
+        from repro.traffic.patterns import TrafficPattern
+
+        pattern = TrafficPattern(
+            "HOT",
+            n_cores,
+            hotspot_fraction=spec.hotspot_fraction,
+            hotspots=list(spec.hotspots) or None,
+        )
     if spec.kind == "bursty":
         from repro.traffic.bursty import BurstyTraffic
 
         return BurstyTraffic(
             n_cores,
-            spec.pattern,
+            pattern,
             spec.rate,
             spec.packet_size,
             seed=spec.seed,
@@ -119,7 +129,7 @@ def _make_traffic(spec: TrafficSpec, n_cores: int, stop_cycle: Optional[int]):
 
     return SyntheticTraffic(
         n_cores,
-        spec.pattern,
+        pattern,
         spec.rate,
         spec.packet_size,
         seed=spec.seed,
@@ -158,7 +168,9 @@ def _make_faults(spec: RunSpec, built) -> Tuple[Optional[object], List[object], 
         meta["dead_link"] = target
     layer = FaultLayer(built.network, campaign=campaign, rng=RngStreams(fs.layer_seed))
     hooks: List[object] = []
-    if fs.failover:
+    # spec.control supersedes the open-loop failover wiring: the control
+    # loop builds (and owns) the controller + monitor itself.
+    if fs.failover and spec.control is None:
         from repro.core.own256 import make_reconfig_controller
 
         ctrl = make_reconfig_controller(built, epoch_cycles=fs.reconfig_epoch)
@@ -170,6 +182,60 @@ def _make_faults(spec: RunSpec, built) -> Tuple[Optional[object], List[object], 
         )
         hooks = [ctrl, monitor]
     return layer, hooks, meta
+
+
+def _make_control(spec: RunSpec, built, layer) -> Tuple[List[object], Optional[object]]:
+    """Instantiate the closed-loop control plane described by ``spec.control``.
+
+    Returns ``(hooks, loop)``; the loop's decision log is folded into the
+    result after the run. The reconfiguration controller runs in managed
+    mode and is driven by the loop, so it is not itself a hook; the
+    health monitor (present only with a fault layer) keeps its own epoch
+    and is registered before the loop so failover verdicts land at the
+    cycle the monitor reaches them, not a control epoch later.
+    """
+    cs = spec.control
+    if cs is None:
+        return [], None
+    from repro.control import ControlLoop
+    from repro.core.own256 import make_reconfig_controller
+    from repro.utils.rng import RngStreams
+
+    routing = built.notes.get("routing")
+    if routing is None or not hasattr(routing, "unfail_channel"):
+        raise ValueError(
+            "spec.control requires a fault-tolerant reconfigurable topology "
+            "(e.g. own256_ft with with_reconfiguration=True)"
+        )
+    ctrl = make_reconfig_controller(built, epoch_cycles=cs.epoch_cycles)
+    hooks: List[object] = []
+    monitor = None
+    if layer is not None:
+        from repro.faults import HealthMonitor
+
+        monitor = HealthMonitor(
+            layer, routing=routing, reconfig=ctrl, epoch_cycles=cs.monitor_epoch
+        )
+        hooks.append(monitor)
+    loop = ControlLoop(
+        routing,
+        ctrl,
+        layer=layer,
+        monitor=monitor,
+        epoch_cycles=cs.epoch_cycles,
+        hysteresis=cs.hysteresis,
+        min_dwell_epochs=cs.min_dwell_epochs,
+        probe_ok_needed=cs.probe_ok_needed,
+        probe_size_flits=cs.probe_size_flits,
+        retry_base_epochs=cs.retry_base_epochs,
+        retry_cap_epochs=cs.retry_cap_epochs,
+        max_pin_attempts=cs.max_pin_attempts,
+        osc_window=cs.osc_window,
+        osc_threshold=cs.osc_threshold,
+        rng=RngStreams(cs.seed),
+    )
+    hooks.append(loop)
+    return hooks, loop
 
 
 def _power_metrics(built, sim, config_id: int, scenario: int) -> Dict[str, float]:
@@ -217,6 +283,8 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     stop = spec.cycles if spec.drain else None
     traffic = _make_traffic(spec.traffic, built.n_cores, stop)
     layer, hooks, fault_meta = _make_faults(spec, built)
+    control_hooks, control_loop = _make_control(spec, built, layer)
+    hooks = hooks + control_hooks
     if tracer is None and spec.telemetry:
         from repro.telemetry import Tracer
 
@@ -245,6 +313,8 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         {k: float(v) for k, v in sim.stats.retransmission_summary().items()}
     )
     summary["drained"] = float(drained)
+    if control_loop is not None:
+        summary.update(control_loop.summary_metrics())
     power = {
         f"cfg{cfg}_s{scen}": _power_metrics(built, sim, cfg, scen)
         for cfg, scen in spec.power
@@ -255,6 +325,8 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         "kind": built.kind,
     }
     meta.update(fault_meta)
+    if control_loop is not None:
+        meta["control"] = control_loop.meta_payload()
     metrics: Dict[str, object] = {}
     if tracer is not None and tracer.enabled:
         tracer.finalize(sim)

@@ -97,6 +97,7 @@ def make_record(
         "schema": SCHEMA_VERSION,
         "digest": result.digest,
         "label": spec.label(),
+        "variant": spec.tag or None,
         "topology": spec.topology,
         "pattern": spec.traffic.pattern,
         "rate": spec.traffic.rate,

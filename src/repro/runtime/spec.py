@@ -96,6 +96,8 @@ class TrafficSpec:
     ``kind`` selects the generator class: ``"synthetic"`` (Bernoulli,
     :class:`~repro.traffic.generator.SyntheticTraffic`) or ``"bursty"``
     (Markov-modulated, :class:`~repro.traffic.bursty.BurstyTraffic`).
+    ``hotspot_fraction`` / ``hotspots`` parameterise the ``HOT`` pattern
+    (an empty ``hotspots`` tuple keeps the pattern's default, core 0).
     """
 
     pattern: str = "UN"
@@ -105,10 +107,18 @@ class TrafficSpec:
     kind: str = "synthetic"
     burst_factor: float = 1.0
     mean_burst_cycles: float = 20.0
+    hotspot_fraction: float = 0.2
+    hotspots: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("synthetic", "bursty"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        # JSON round-trips deliver lists; re-freeze for hashability.
+        object.__setattr__(
+            self, "hotspots", tuple(int(c) for c in self.hotspots)
+        )
 
 
 @dataclass(frozen=True)
@@ -143,6 +153,44 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ControlSpec:
+    """A closed-loop control plane, by value (see ``docs/control.md``).
+
+    Attaching a ``ControlSpec`` to a :class:`RunSpec` wires a
+    :class:`repro.control.ControlLoop` (plus a managed reconfiguration
+    controller and, when faults are present, a health monitor) into the
+    run. Requires a fault-tolerant reconfigurable topology
+    (``own256_ft`` with ``with_reconfiguration=True``). Supersedes
+    ``FaultSpec.failover`` -- the loop owns failover wiring.
+
+    All knobs are digested, so two runs with different hysteresis or
+    probe settings never share a cache entry; the decision log the loop
+    produces is byte-stable per digest.
+    """
+
+    epoch_cycles: int = 250
+    hysteresis: float = 1.25
+    min_dwell_epochs: int = 2
+    probe_ok_needed: int = 2
+    probe_size_flits: int = 1
+    retry_base_epochs: int = 1
+    retry_cap_epochs: int = 8
+    max_pin_attempts: int = 5
+    osc_window: int = 8
+    osc_threshold: int = 6
+    monitor_epoch: int = 100
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.epoch_cycles < 1:
+            raise ValueError(f"epoch_cycles must be >= 1, got {self.epoch_cycles}")
+        if self.probe_ok_needed < 1:
+            raise ValueError("probe_ok_needed must be >= 1")
+        if self.osc_threshold < 2 or self.osc_window < self.osc_threshold:
+            raise ValueError("need 2 <= osc_threshold <= osc_window")
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """Everything needed to reproduce one simulation point.
 
@@ -162,6 +210,12 @@ class RunSpec:
         extra cycles until the network empties (exactly-once studies).
     faults:
         Optional fault campaign.
+    control:
+        Optional closed-loop control plane (:class:`ControlSpec`): a
+        :class:`repro.control.ControlLoop` adaptively steers the spare
+        wireless channels, probes failed channels back to health and
+        reweights relay routes. Its decision log is folded into the run
+        record (``summary["control_log_crc"]``, ``meta["control"]``).
     power:
         ``(config_id, scenario)`` pairs to measure with the power model
         after the run; results land in ``RunResult.power`` keyed
@@ -179,6 +233,13 @@ class RunSpec:
         either way -- this knob exists to *prove* that (CI diffs a dense
         sweep against the fast-generated golden log) and as a fallback
         while debugging the scheduler itself.
+    tag:
+        Free-form variant label (e.g. ``"hot+burst/adaptive"``). Part of
+        the digest (two variants never share a cache entry), appended to
+        :meth:`label`, and written to run records as ``"variant"`` so
+        :mod:`repro.analysis.diffing` can join per-variant across logs --
+        without it, arms of a study that share topology/pattern/rate/
+        cycles/warmup would collapse into one noise group.
     """
 
     topology: str
@@ -188,9 +249,11 @@ class RunSpec:
     warmup: int = 0
     drain: int = 0
     faults: Optional[FaultSpec] = None
+    control: Optional[ControlSpec] = None
     power: Tuple[Tuple[int, int], ...] = ()
     telemetry: bool = False
     dense: bool = False
+    tag: str = ""
 
     @classmethod
     def create(
@@ -206,11 +269,15 @@ class RunSpec:
         traffic_kind: str = "synthetic",
         burst_factor: float = 1.0,
         mean_burst_cycles: float = 20.0,
+        hotspot_fraction: float = 0.2,
+        hotspots: Tuple[int, ...] = (),
         drain: int = 0,
         faults: Optional[FaultSpec] = None,
+        control: Optional[ControlSpec] = None,
         power: Tuple[Tuple[int, int], ...] = (),
         telemetry: bool = False,
         dense: bool = False,
+        tag: str = "",
     ) -> "RunSpec":
         """Ergonomic constructor taking plain dicts/kwargs."""
         return cls(
@@ -224,14 +291,18 @@ class RunSpec:
                 kind=traffic_kind,
                 burst_factor=burst_factor,
                 mean_burst_cycles=mean_burst_cycles,
+                hotspot_fraction=hotspot_fraction,
+                hotspots=tuple(hotspots),
             ),
             cycles=cycles,
             warmup=warmup,
             drain=drain,
             faults=faults,
+            control=control,
             power=tuple((int(c), int(s)) for c, s in power),
             telemetry=telemetry,
             dense=dense,
+            tag=tag,
         )
 
     def with_(self, **changes) -> "RunSpec":
@@ -254,6 +325,7 @@ class RunSpec:
     def from_dict(cls, d: Mapping[str, object]) -> "RunSpec":
         traffic = TrafficSpec(**d["traffic"])
         faults = FaultSpec(**d["faults"]) if d.get("faults") else None
+        control = ControlSpec(**d["control"]) if d.get("control") else None
         kwargs = tuple(
             (str(k), _thaw(v)) for k, v in (d.get("topology_kwargs") or ())
         )
@@ -266,9 +338,11 @@ class RunSpec:
             warmup=int(d.get("warmup", 0)),
             drain=int(d.get("drain", 0)),
             faults=faults,
+            control=control,
             power=power,
             telemetry=bool(d.get("telemetry", False)),
             dense=bool(d.get("dense", False)),
+            tag=str(d.get("tag", "")),
         )
 
     def canonical_json(self) -> str:
@@ -284,7 +358,8 @@ class RunSpec:
 
     def label(self) -> str:
         """Short human-readable tag for progress lines and records."""
-        return (
+        base = (
             f"{self.topology}/{self.traffic.pattern}"
             f"@{self.traffic.rate:g}x{self.cycles}"
         )
+        return f"{base}#{self.tag}" if self.tag else base

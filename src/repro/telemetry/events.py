@@ -21,6 +21,10 @@ Event vocabulary
                    (``args["wait"]`` = request-to-grant cycles).
 ``retx``           The link-layer engine began retransmitting a packet.
 ``failover``       The health monitor retired a channel.
+``recovery``       A retired channel returned to service (probes passed).
+``control``        The control plane acted (``args["action"]``: the
+                   decision-log record -- spare moves, probes, unfails,
+                   relay reweights, freeze/fallback).
 ``packet_done``    A packet ejected; ``args`` carries the latency
                    breakdown (queueing / token_wait / serialization /
                    flight / retx / other).
@@ -47,6 +51,8 @@ TOKEN_REQUEST = "token_request"
 TOKEN_GRANT = "token_grant"
 RETX = "retx"
 FAILOVER = "failover"
+RECOVERY = "recovery"
+CONTROL = "control"
 PACKET_DONE = "packet_done"
 DRAIN_START = "drain_start"
 DRAIN_END = "drain_end"
@@ -64,6 +70,8 @@ EVENT_TYPES = (
     TOKEN_GRANT,
     RETX,
     FAILOVER,
+    RECOVERY,
+    CONTROL,
     PACKET_DONE,
     DRAIN_START,
     DRAIN_END,

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.telemetry.classify import infer_channel_classes, link_class
 from repro.telemetry.events import (
     BUFFER_SAMPLE,
+    CONTROL,
     DEADLOCK,
     DRAIN_END,
     DRAIN_START,
@@ -48,6 +49,7 @@ from repro.telemetry.events import (
     FLIT_RECV,
     FLIT_SEND,
     PACKET_DONE,
+    RECOVERY,
     RETX,
     TOKEN_GRANT,
     TOKEN_REQUEST,
@@ -389,6 +391,30 @@ class Tracer:
             self.metrics.counter("failovers", self.class_of(link)).add(1)
         if self._eventing:
             self._event(now, FAILOVER, link.name)
+
+    def on_recovery(self, link: "Link", now: int) -> None:
+        self.emits += 1
+        if self.collect_metrics:
+            self.metrics.counter("recoveries", self.class_of(link)).add(1)
+        if self._eventing:
+            self._event(now, RECOVERY, link.name)
+
+    # ------------------------------------------------------------------ #
+    # Control plane (repro.control)
+    # ------------------------------------------------------------------ #
+
+    def on_control(self, action: str, detail: dict, now: int) -> None:
+        """One control-plane actuation (spare move, probe, unfail, ...).
+
+        ``detail`` is the decision-log record (already JSON-safe); it rides
+        along in the event args so Chrome traces and HTML reports show what
+        the controller did at each epoch.
+        """
+        self.emits += 1
+        if self.collect_metrics:
+            self.metrics.counter("control_actions", action).add(1)
+        if self._eventing:
+            self._event(now, CONTROL, "control", args=dict(detail))
 
     # ------------------------------------------------------------------ #
     # Run-phase markers (Simulator drain / resume / watchdog)

@@ -72,7 +72,14 @@ class TestMatching:
         assert len(diff_runlogs(a, b).matched) == 1
 
     def test_key_covers_spec_fields(self):
-        assert record_key(record()) == ("own256", "UN", 0.03, 800, 200)
+        assert record_key(record()) == ("own256", "UN", 0.03, 800, 200, None)
+
+    def test_variant_tag_distinguishes_cells(self):
+        # Same spec shape, different experiment arm: must not cross-match.
+        a, b = record(), record()
+        a["variant"] = "hotspot/static"
+        b["variant"] = "hotspot/adaptive"
+        assert record_key(a) != record_key(b)
 
 
 class TestGating:

@@ -1,0 +1,117 @@
+"""Property tests: the control plane preserves the engine's determinism.
+
+Two load-bearing guarantees from ``docs/control.md``:
+
+1. a control-enabled run delivers bit-identically under dense stepping
+   and active-set fast-forward (control epochs are scheduled wake
+   sources, never "missed" by a clock skip);
+2. the decision log is byte-stable -- same spec, same canonical bytes,
+   same CRC -- which is what lets CI pin ``control_log_crc`` exactly.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import reset_packet_ids
+from repro.noc.stats import StatsCollector
+from repro.runtime.executor import execute_inline
+from repro.runtime.spec import ControlSpec, FaultSpec, RunSpec
+
+
+@contextmanager
+def delivery_log():
+    """Record every (cycle, packet id) ejection, in delivery order."""
+    events = []
+    orig = StatsCollector.on_packet_ejected
+
+    def patched(self, packet, now):
+        events.append((now, packet.pid))
+        return orig(self, packet, now)
+
+    StatsCollector.on_packet_ejected = patched
+    try:
+        yield events
+    finally:
+        StatsCollector.on_packet_ejected = orig
+
+
+def _run(rate, seed, faults, dense):
+    reset_packet_ids()
+    spec = RunSpec.create(
+        topology="own256_ft",
+        topology_kwargs={"with_reconfiguration": True},
+        pattern="UN",
+        rate=rate,
+        cycles=600,
+        warmup=100,
+        seed=seed,
+        faults=faults,
+        control=ControlSpec(epoch_cycles=150),
+        dense=dense,
+    )
+    with delivery_log() as events:
+        _, _, result = execute_inline(spec)
+    return events, result
+
+
+FAULTS = st.sampled_from(
+    [
+        None,
+        FaultSpec(kind="bursty", burst_rate=0.002, burst_duration=150,
+                  snr_penalty_db=14.0, max_channel=4),
+        FaultSpec(kind="death", at=150),
+    ]
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    rate=st.sampled_from([0.02, 0.05]),
+    seed=st.integers(min_value=0, max_value=2**16 - 1),
+    faults=FAULTS,
+)
+def test_control_runs_deliver_identically_dense_and_fast(rate, seed, faults):
+    fast_events, fast = _run(rate, seed, faults, dense=False)
+    dense_events, dense = _run(rate, seed, faults, dense=True)
+
+    assert fast_events, "scenario delivered no packets; raise rate/cycles"
+    assert fast_events == dense_events
+    assert fast.summary == dense.summary  # includes control_log_crc
+    assert fast.meta["control"] == dense.meta["control"]
+
+
+def test_control_runs_identical_serial_and_parallel():
+    from repro.runtime import Executor
+
+    faults = FaultSpec(kind="bursty", burst_rate=0.002, burst_duration=150,
+                       snr_penalty_db=14.0, max_channel=4)
+    specs = [
+        RunSpec.create(
+            topology="own256_ft",
+            topology_kwargs={"with_reconfiguration": True},
+            pattern="UN", rate=rate, cycles=600, warmup=100, seed=5,
+            faults=faults, control=ControlSpec(epoch_cycles=150),
+        )
+        for rate in (0.02, 0.05)
+    ]
+    serial = Executor(jobs=1).run(specs)
+    parallel = Executor(jobs=2).run(specs)
+    assert [r.summary for r in parallel] == [r.summary for r in serial]
+    assert [r.meta["control"] for r in parallel] == [
+        r.meta["control"] for r in serial
+    ]
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+def test_decision_log_is_byte_stable_across_reruns(seed):
+    faults = FaultSpec(kind="bursty", burst_rate=0.002, burst_duration=150,
+                       snr_penalty_db=14.0, max_channel=4)
+    _, first = _run(0.05, seed, faults, dense=False)
+    _, second = _run(0.05, seed, faults, dense=False)
+
+    assert first.meta["control"]["decisions"] == second.meta["control"]["decisions"]
+    assert first.summary["control_log_crc"] == second.summary["control_log_crc"]
+    assert first.meta["control"]["log"] == second.meta["control"]["log"]

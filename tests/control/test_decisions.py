@@ -1,0 +1,42 @@
+"""DecisionLog: canonical encoding, CRC sensitivity, counts."""
+
+from repro.control.decisions import DecisionLog
+
+
+def test_records_are_json_safe_and_counted():
+    log = DecisionLog()
+    rec = log.append(250, 1, "plan", desired=[(0, 2), (1, 3)], pinned=set())
+    assert rec == {
+        "cycle": 250, "epoch": 1, "action": "plan",
+        "desired": [[0, 2], [1, 3]], "pinned": [],
+    }
+    log.append(500, 2, "probe", link="wch1.A0->B2", ok=True, streak=1)
+    assert len(log) == 2
+    assert log.counts == {"plan": 1, "probe": 1}
+    assert log.summary()["actions"] == {"plan": 1, "probe": 1}
+
+
+def test_canonical_encoding_is_byte_stable():
+    def build():
+        log = DecisionLog()
+        log.append(250, 1, "plan", desired=[(2, 0)], class_flits={"E2E": 9})
+        log.append(500, 2, "relay", pair=(0, 2), via=3)
+        return log
+
+    assert build().canonical_json() == build().canonical_json()
+    assert build().crc() == build().crc()
+
+
+def test_crc_flags_any_change():
+    base = DecisionLog()
+    base.append(250, 1, "plan", desired=[(0, 2)])
+
+    altered = DecisionLog()
+    altered.append(250, 1, "plan", desired=[(0, 3)])
+
+    extra = DecisionLog()
+    extra.append(250, 1, "plan", desired=[(0, 2)])
+    extra.append(251, 1, "probe", ok=False)
+
+    crcs = {base.crc(), altered.crc(), extra.crc(), DecisionLog().crc()}
+    assert len(crcs) == 4  # every variation is distinguishable

@@ -1,0 +1,112 @@
+"""Unit tests for the pure policy layer: ranking, hysteresis, dwell."""
+
+import pytest
+
+from repro.control.policy import AdaptiveSparePolicy, TelemetryWindow, feasible_with
+from repro.core.reconfig import N_SPARE_CHANNELS
+
+
+def window(epoch=0, cycle=0, **pair_flits):
+    """Window with pair demand given as ``p01=…`` keyword shorthand."""
+    flits = {(int(k[1]), int(k[2])): v for k, v in pair_flits.items()}
+    return TelemetryWindow(epoch=epoch, cycle=cycle, pair_flits=flits)
+
+
+class TestWindow:
+    def test_demand_sums_primary_and_spare(self):
+        w = TelemetryWindow(
+            epoch=0, cycle=100,
+            pair_flits={(0, 1): 10}, spare_flits={(0, 1): 5, (2, 3): 7},
+        )
+        assert w.demand((0, 1)) == 15
+        assert w.demand((2, 3)) == 7
+        assert w.demand((1, 0)) == 0
+
+
+class TestFeasibility:
+    def test_one_outgoing_and_incoming_per_cluster(self):
+        assert feasible_with([], (0, 1))
+        assert not feasible_with([(0, 1)], (0, 2))  # D0 already transmits
+        assert not feasible_with([(0, 1)], (2, 1))  # D1 already receives
+        assert feasible_with([(0, 1)], (1, 0))
+        assert feasible_with([(0, 1), (1, 0)], (2, 3))
+
+
+class TestAdaptiveSparePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSparePolicy(hysteresis=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveSparePolicy(min_dwell_epochs=-1)
+
+    def test_picks_hottest_feasible_pairs(self):
+        pol = AdaptiveSparePolicy(min_dwell_epochs=0)
+        eligible = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)]
+        plan = pol.decide(
+            window(p01=100, p02=90, p12=80, p23=70, p30=60),
+            epoch=0, pinned=[], eligible=eligible,
+        )
+        # (0,2) loses to (0,1) on the D0 transmitter; the rest fit.
+        assert plan == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert len(plan) <= N_SPARE_CHANNELS
+
+    def test_idle_pairs_never_planned(self):
+        pol = AdaptiveSparePolicy()
+        plan = pol.decide(window(p01=5), 0, [], [(0, 1), (2, 3)])
+        assert plan == [(0, 1)]  # (2,3) shows zero demand
+
+    def test_pins_consume_slots_and_feasibility(self):
+        pol = AdaptiveSparePolicy(min_dwell_epochs=0)
+        plan = pol.decide(
+            window(p01=100, p21=90, p23=50),
+            epoch=0, pinned=[(0, 1)], eligible=[(0, 1), (2, 1), (2, 3)],
+        )
+        # (2,1) collides with the pinned (0,1) on D1's receiver.
+        assert plan == [(2, 3)]
+
+    def test_hysteresis_keeps_incumbent_against_small_challenger(self):
+        pol = AdaptiveSparePolicy(hysteresis=1.5, min_dwell_epochs=0)
+        eligible = [(0, 1), (0, 2)]
+        assert pol.decide(window(p01=100, p02=0), 0, [], eligible) == [(0, 1)]
+        # Challenger at 1.2x does not clear the 1.5x bar...
+        assert pol.decide(window(p01=100, p02=120), 1, [], eligible) == [(0, 1)]
+        # ...but 2x does.
+        assert pol.decide(window(p01=100, p02=200), 2, [], eligible) == [(0, 2)]
+
+    def test_dwell_protects_recent_admission(self):
+        pol = AdaptiveSparePolicy(hysteresis=1.0, min_dwell_epochs=3)
+        eligible = [(0, 1), (0, 2)]
+        assert pol.decide(window(p01=10, p02=0), 0, [], eligible) == [(0, 1)]
+        # A hotter conflicting pair cannot evict within the dwell window
+        # while the incumbent still shows demand...
+        assert pol.decide(window(p01=10, p02=500), 1, [], eligible) == [(0, 1)]
+        assert pol.decide(window(p01=10, p02=500), 2, [], eligible) == [(0, 1)]
+        # ...but can once the dwell expires.
+        assert pol.decide(window(p01=10, p02=500), 3, [], eligible) == [(0, 2)]
+
+    def test_dead_weight_is_evictable_inside_dwell(self):
+        pol = AdaptiveSparePolicy(hysteresis=1.0, min_dwell_epochs=5)
+        eligible = [(0, 1), (0, 2)]
+        assert pol.decide(window(p01=10), 0, [], eligible) == [(0, 1)]
+        # Incumbent demand collapsed to zero: dwell does not apply.
+        assert pol.decide(window(p02=7), 1, [], eligible) == [(0, 2)]
+
+    def test_equal_demand_is_order_deterministic(self):
+        eligible = [(3, 0), (0, 1), (1, 2), (2, 3)]
+        plans = set()
+        for _ in range(3):
+            pol = AdaptiveSparePolicy(min_dwell_epochs=0)
+            plan = pol.decide(
+                window(p30=50, p01=50, p12=50, p23=50), 0, [], eligible
+            )
+            plans.add(tuple(plan))
+        assert plans == {((0, 1), (1, 2), (2, 3), (3, 0))}
+
+    def test_reset_drops_incumbency(self):
+        pol = AdaptiveSparePolicy(hysteresis=2.0, min_dwell_epochs=0)
+        pol.decide(window(p01=100), 0, [], [(0, 1), (0, 2)])
+        pol.reset()
+        assert pol.plan == [] and pol.admitted == {}
+        # Post-reset, the old incumbent holds no hysteresis advantage.
+        plan = pol.decide(window(p01=100, p02=110), 1, [], [(0, 1), (0, 2)])
+        assert plan == [(0, 2)]
