@@ -1,90 +1,231 @@
 #!/usr/bin/env python
-"""Hot-path benchmark: active-set scheduler vs dense stepping on OWN-256.
+"""Hot-path benchmark: SoA kernel sweep vs object paths on OWN-256.
 
 Measures simulator speed (``profile["sim_cycles_per_sec"]`` from schema-v2
 run records) at the paper's mid-load sweep point -- OWN-256, uniform
-traffic, 0.05 flits/core/cycle -- in both scheduler modes, and compares
-against the dense pre-optimisation loop recorded in ``BENCH_hotpath.json``.
+traffic, 0.05 flits/core/cycle -- across the three engine paths:
+
+``soa``
+    The default fast path: active-set scheduling + the struct-of-arrays
+    switch-allocation sweep (``repro.noc.kernels``).
+``object``
+    Active-set scheduling with the per-router object SA scan
+    (``REPRO_NOC_KERNELS=0`` escape hatch).
+``dense``
+    The reference engine: per-cycle stepping, object SA path.
 
 Modes
 -----
 ``record``
-    Measure both modes (best of ``--reps``), verify the two produce
-    bit-identical summaries, require the configured speedup over the
-    recorded seed baseline, and (re)write ``BENCH_hotpath.json``.
+    Measure all three paths, verify they produce bit-identical summaries,
+    then measure the *headline multiplier* against the pre-optimisation
+    loop: the seed commit's dense engine is checked out into a throwaway
+    git worktree and timed in subprocesses interleaved with the current
+    SoA path (alternating, best of ``--reps`` each), so host-speed drift
+    and process warm-up effects cancel out of the ratio. Requires the
+    configured ``--min-speedup`` and (re)writes ``BENCH_hotpath.json``.
 ``--check BENCH_hotpath.json``
-    CI gate: re-measure the fast path and fail when it drops more than
-    ``--tolerance`` (default 20%) below the recorded figure.
+    CI gate: re-measure the SoA path and fail when it drops more than
+    ``--tolerance`` (default 20%) below the recorded figure; also runs
+    one dense rep and fails if the summaries are not bit-identical.
 
-Wall-clock numbers are machine-dependent; the recorded file carries the
-measurement spec and host provenance so a regression report can be read in
-context. Results (latency/throughput) are bit-identical across modes --
-that part is asserted here and property-tested in
-``tests/runtime/test_fastforward_property.py``.
+Wall-clock numbers are machine-dependent (and this class of container
+host swings tens of percent between processes); the interleaved-ratio
+method plus recorded provenance keeps the headline multiplier meaningful
+across hosts. Bit-identity across paths is asserted here and
+property-tested in ``tests/runtime/test_fastforward_property.py`` and
+``tests/noc/test_kernels.py``.
+
+Notes
+-----
+Flit construction micro-fix (``noc/packet.py``: flag tables replacing the
+``FlitKind`` enum properties in ``Flit.__init__``, on top of the existing
+``__slots__``): measured at this sweep point as 1980.9 -> 2097.7 c/s on
+the fast path (+5.9%), dense 1758.7 c/s pre-fix, same host/phase,
+best-of-5 in-process. Folded into the recorded SoA figure.
 """
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro.noc import reset_packet_ids  # noqa: E402
-from repro.runtime.executor import execute_inline  # noqa: E402
-from repro.runtime.spec import RunSpec  # noqa: E402
+_REPO = Path(__file__).resolve().parent.parent
+#: Overridden by the seed-baseline probe so the same script body can run
+#: against the historical package in a worktree.
+_SRC = os.environ.get("REPRO_BENCH_SRC") or str(_REPO / "src")
+sys.path.insert(0, _SRC)
 
 #: The measurement point (mid-load on the paper's Fig. 7 x-axis).
 SPEC = dict(
     topology="own256", pattern="UN", rate=0.05, cycles=2000, warmup=400, seed=3
 )
 
-#: Dense pre-optimisation loop at the same point, measured on the commit
-#: preceding the active-set scheduler (seed 7683e45); kept for the speedup
-#: denominator so the headline factor survives re-recording.
+#: Commit whose dense loop is the headline-speedup denominator (the last
+#: commit before the active-set scheduler landed). Record mode times it
+#: live in a worktree; this constant only names the baseline.
+SEED_COMMIT = "7683e45"
+
+#: That loop's speed as measured when the active-set scheduler was first
+#: recorded. Informational fallback only -- the recorded multiplier comes
+#: from the interleaved live measurement, never from this constant.
 SEED_DENSE_CYCLES_PER_SEC = 1027.8
 
+TARGETS = ("soa", "object", "dense")
 
-def measure(dense: bool, reps: int):
+
+def _measure_once(target: str):
+    """One fresh run of ``target``; returns (cycles_per_sec, summary)."""
+    from repro.noc import reset_packet_ids
+    from repro.runtime.executor import execute_inline
+    from repro.runtime.spec import RunSpec
+
+    reset_packet_ids()
+    kwargs = dict(SPEC)
+    if target == "seed-dense":
+        # The seed package predates the dense flag; its loop is dense.
+        spec = RunSpec.create(**kwargs)
+    elif target == "dense":
+        spec = RunSpec.create(dense=True, **kwargs)
+    else:
+        spec = RunSpec.create(dense=False, **kwargs)
+    old = os.environ.get("REPRO_NOC_KERNELS")
+    if target == "object":
+        os.environ["REPRO_NOC_KERNELS"] = "0"
+    try:
+        _, _, result = execute_inline(spec)
+    finally:
+        if target == "object":
+            if old is None:
+                os.environ.pop("REPRO_NOC_KERNELS", None)
+            else:
+                os.environ["REPRO_NOC_KERNELS"] = old
+    return result.profile["sim_cycles_per_sec"], result.summary
+
+
+def measure(target: str, reps: int):
     """Best-of-``reps`` cycles/sec plus the (identical) result summary."""
     best = 0.0
     summary = None
     for _ in range(reps):
-        reset_packet_ids()
-        spec = RunSpec.create(dense=dense, **SPEC)
-        _, _, result = execute_inline(spec)
-        best = max(best, result.profile["sim_cycles_per_sec"])
+        speed, s = _measure_once(target)
+        best = max(best, speed)
         if summary is None:
-            summary = result.summary
-        elif summary != result.summary:
-            raise SystemExit("non-deterministic summary within one mode")
+            summary = s
+        elif summary != s:
+            raise SystemExit(f"non-deterministic summary within target {target!r}")
     return best, summary
 
 
+# --------------------------------------------------------------------- #
+# Interleaved seed-baseline measurement
+# --------------------------------------------------------------------- #
+
+
+def _probe_subprocess(target: str, src: str) -> float:
+    """Run one measurement in a fresh process; returns cycles/sec."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_SRC"] = src
+    env.pop("PYTHONPATH", None)
+    out = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--probe", target],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return float(json.loads(out.stdout.splitlines()[-1])["cycles_per_sec"])
+
+
+def _seed_worktree():
+    """Check the seed commit out into ``.bench-seed``; return its src dir."""
+    wt = _REPO / ".bench-seed"
+    if not (wt / "src").is_dir():
+        subprocess.run(
+            ["git", "worktree", "add", "--force", "--detach", str(wt), SEED_COMMIT],
+            cwd=_REPO,
+            check=True,
+            capture_output=True,
+        )
+    return str(wt / "src")
+
+
+def _drop_seed_worktree() -> None:
+    subprocess.run(
+        ["git", "worktree", "remove", "--force", str(_REPO / ".bench-seed")],
+        cwd=_REPO,
+        capture_output=True,
+    )
+
+
+def measure_multiplier(reps: int):
+    """Headline SoA-over-seed-dense ratio from interleaved subprocesses.
+
+    Alternates seed / SoA runs in fresh processes and takes best-of-N on
+    each side, so slow host phases (CPU throttling, noisy neighbours)
+    penalise both numerator and denominator alike. Returns
+    ``(multiplier, best_soa, best_seed)``.
+    """
+    seed_src = _seed_worktree()
+    cur_src = str(_REPO / "src")
+    best_seed = 0.0
+    best_soa = 0.0
+    try:
+        for i in range(reps):
+            best_seed = max(best_seed, _probe_subprocess("seed-dense", seed_src))
+            best_soa = max(best_soa, _probe_subprocess("soa", cur_src))
+            print(
+                f"  round {i + 1}/{reps}: seed-dense {best_seed:.1f} c/s, "
+                f"soa {best_soa:.1f} c/s",
+                file=sys.stderr,
+            )
+    finally:
+        _drop_seed_worktree()
+    return best_soa / best_seed, best_soa, best_seed
+
+
+# --------------------------------------------------------------------- #
+# Modes
+# --------------------------------------------------------------------- #
+
+
 def record(path: Path, reps: int, min_speedup: float) -> int:
-    fast, fast_summary = measure(dense=False, reps=reps)
-    dense, dense_summary = measure(dense=True, reps=reps)
-    if fast_summary != dense_summary:
-        raise SystemExit("FAIL: dense and fast summaries differ (bit-identity broken)")
-    speedup = fast / SEED_DENSE_CYCLES_PER_SEC
+    speeds = {}
+    summaries = {}
+    for target in TARGETS:
+        speeds[target], summaries[target] = measure(target, reps)
+    if not (summaries["soa"] == summaries["object"] == summaries["dense"]):
+        raise SystemExit(
+            "FAIL: soa/object/dense summaries differ (bit-identity broken)"
+        )
+    multiplier, best_soa, best_seed = measure_multiplier(reps)
     payload = {
         "spec": SPEC,
         "reps": reps,
-        "fast_cycles_per_sec": round(fast, 1),
-        "dense_cycles_per_sec": round(dense, 1),
-        "seed_dense_cycles_per_sec": SEED_DENSE_CYCLES_PER_SEC,
-        "speedup_vs_seed_dense": round(speedup, 3),
+        "soa_cycles_per_sec": round(speeds["soa"], 1),
+        "object_cycles_per_sec": round(speeds["object"], 1),
+        "dense_cycles_per_sec": round(speeds["dense"], 1),
+        "seed_dense_cycles_per_sec": round(best_seed, 1),
+        "speedup_vs_seed_dense": round(multiplier, 3),
         "bit_identical": True,
+        "method": {
+            "baseline": f"seed commit {SEED_COMMIT} dense loop, measured live "
+            "in a git worktree",
+            "ratio": "interleaved subprocesses, best-of-reps per side",
+            "soa_interleaved_cycles_per_sec": round(best_soa, 1),
+        },
         "host": {
             "machine": platform.machine(),
             "python": platform.python_version(),
         },
     }
     print(json.dumps(payload, indent=2))
-    if speedup < min_speedup:
+    if multiplier < min_speedup:
         print(
-            f"FAIL: speedup {speedup:.2f}x < required {min_speedup:.2f}x",
+            f"FAIL: speedup {multiplier:.2f}x < required {min_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1
@@ -95,15 +236,21 @@ def record(path: Path, reps: int, min_speedup: float) -> int:
 
 def check(path: Path, reps: int, tolerance: float) -> int:
     recorded = json.loads(path.read_text())
-    floor = recorded["fast_cycles_per_sec"] * (1.0 - tolerance)
-    fast, _ = measure(dense=False, reps=reps)
-    verdict = "ok" if fast >= floor else "FAIL"
+    # Back-compat with pre-SoA recordings.
+    key = "soa_cycles_per_sec" if "soa_cycles_per_sec" in recorded else "fast_cycles_per_sec"
+    floor = recorded[key] * (1.0 - tolerance)
+    soa, soa_summary = measure("soa", reps)
+    _, dense_summary = measure("dense", 1)
+    if soa_summary != dense_summary:
+        print("FAIL: SoA and dense summaries differ (bit-identity broken)")
+        return 1
+    verdict = "ok" if soa >= floor else "FAIL"
     print(
-        f"{verdict}: measured {fast:.1f} cycles/s vs recorded "
-        f"{recorded['fast_cycles_per_sec']:.1f} (floor {floor:.1f}, "
-        f"tolerance {tolerance:.0%})"
+        f"{verdict}: measured {soa:.1f} cycles/s vs recorded "
+        f"{recorded[key]:.1f} (floor {floor:.1f}, "
+        f"tolerance {tolerance:.0%}); SoA/dense bit-identical"
     )
-    return 0 if fast >= floor else 1
+    return 0 if soa >= floor else 1
 
 
 def main(argv=None) -> int:
@@ -112,12 +259,17 @@ def main(argv=None) -> int:
         "--check",
         type=Path,
         metavar="BENCH_JSON",
-        help="compare a fresh fast-path measurement against this recording",
+        help="compare a fresh SoA measurement against this recording",
+    )
+    ap.add_argument(
+        "--probe",
+        choices=TARGETS + ("seed-dense",),
+        help="internal: one measurement in this process, JSON to stdout",
     )
     ap.add_argument(
         "--out",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
+        default=_REPO / "BENCH_hotpath.json",
         help="recording destination (record mode)",
     )
     ap.add_argument("--reps", type=int, default=5, help="best-of-N repetitions")
@@ -130,10 +282,14 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--min-speedup",
         type=float,
-        default=3.0,
-        help="required fast/seed-dense factor in record mode",
+        default=3.15,
+        help="required soa/seed-dense factor in record mode",
     )
     args = ap.parse_args(argv)
+    if args.probe:
+        speed, _ = _measure_once(args.probe)
+        print(json.dumps({"cycles_per_sec": speed}))
+        return 0
     if args.check:
         return check(args.check, args.reps, args.tolerance)
     return record(args.out, args.reps, args.min_speedup)

@@ -431,7 +431,9 @@ class FaultLayer:
         # the link so the router cannot launch packets we could not track.
         if tx is None and entries and len(entries) >= self.config.replay_capacity:
             if link.busy_until <= now:
-                link.busy_until = now + 1
+                # Through the mirror-aware setter: the kernel SA sweep must
+                # see the stall, or it would launch into the full buffer.
+                link.set_busy_until(now + 1)
         elif tx is None:
             tx = self._try_start(link, now)
 

@@ -72,6 +72,9 @@ class Endpoint:
         "name",
         "vca_waiters",
         "vca_credit_waiters",
+        "ni",
+        "kslot",
+        "_k",
     )
 
     def __init__(
@@ -92,15 +95,28 @@ class Endpoint:
         self.is_sink = is_sink
         self.name = name
         #: Upstream VC-allocation requests parked on this endpoint:
-        #: ``(router, (in_port, vc))`` pairs that failed VCA and wait for
-        #: this endpoint's state to change before re-entering the upstream
-        #: router's ``_vca_pending`` set (see Router.stage_vca).
+        #: ``(router, (in_port, vc), size_flits)`` triples that failed VCA
+        #: and wait for this endpoint's state to change before re-entering
+        #: the upstream router's ``_vca_pending`` set (see Router.stage_vca).
         #: ``vca_waiters`` re-arms on a VC release (every parked request may
         #: become grantable when a VC frees up); ``vca_credit_waiters``
-        #: additionally re-arms on credit returns (only requests that saw a
-        #: free-but-underfunded VC can be unblocked by a credit alone).
+        #: additionally re-arms on credit returns, but only requests the
+        #: returned credit could fund (the VC is free and has accumulated
+        #: ``size_flits`` credits) -- everything else would re-poll and fail.
         self.vca_waiters: List[tuple] = []
         self.vca_credit_waiters: List[tuple] = []
+        #: The network interface injecting through this endpoint, if any
+        #: (bound by NetworkInterface.__init__). A parked NI re-arms on the
+        #: same endpoint state changes as the VCA waiters above.
+        self.ni = None
+        # Struct-of-arrays binding (repro.noc.kernels): base index of this
+        # endpoint's VC 0 in the flat credit/busy mirror arrays, plus the
+        # owning KernelState. The lists above stay authoritative; every
+        # mutation below writes through to the mirror so the bulk sweep
+        # and the invariant audit can read it. Unbound endpoints (unit
+        # tests, sinks) keep ``_k is None``.
+        self.kslot = -1
+        self._k = None
 
     def has_credit(self, vc: int) -> bool:
         return self.is_sink or self.credits[vc] > 0
@@ -135,16 +151,34 @@ class Endpoint:
         if self.credits[vc] <= 0:
             raise RuntimeError(f"credit underflow at {self.name or 'endpoint'} vc={vc}")
         self.credits[vc] -= 1
+        if self._k is not None:
+            self._k.credits[self.kslot + vc] = self.credits[vc]
 
     def return_credit(self, vc: int) -> None:
         if self.is_sink:
             return
         self.credits[vc] += 1
+        if self._k is not None:
+            self._k.credits[self.kslot + vc] = self.credits[vc]
+        ni = self.ni
+        if ni is not None and ni.parked:
+            ni.parked = False
+            ni._wake(ni)
         waiters = self.vca_credit_waiters
-        if waiters:
-            for router, key in waiters:
-                router._vca_pending.add(key)
-            waiters.clear()
+        if waiters and not self.vc_busy[vc]:
+            # Re-arm only requests this credit could actually fund: a parked
+            # request is grantable now only via the VC the credit landed on
+            # (nothing else changed since it parked), so skip the re-poll
+            # when that VC is busy or still short of the packet size. Failed
+            # VCA re-polls have no side effects, so pruning them is
+            # invisible to the simulation result.
+            c = self.credits[vc]
+            kept = [w for w in waiters if w[2] > c]
+            if len(kept) != len(waiters):
+                for router, key, size in waiters:
+                    if size <= c:
+                        router._vca_pending.add(key)
+                self.vca_credit_waiters = kept
 
     def acquire_vc(self, vc: int) -> None:
         if self.is_sink:
@@ -152,21 +186,29 @@ class Endpoint:
         if self.vc_busy[vc]:
             raise RuntimeError(f"double VC allocation at {self.name or 'endpoint'} vc={vc}")
         self.vc_busy[vc] = True
+        if self._k is not None:
+            self._k.vc_busy[self.kslot + vc] = True
 
     def release_vc(self, vc: int) -> None:
         if self.is_sink:
             return
         self.vc_busy[vc] = False
+        if self._k is not None:
+            self._k.vc_busy[self.kslot + vc] = False
+        ni = self.ni
+        if ni is not None and ni.parked:
+            ni.parked = False
+            ni._wake(ni)
         # A freed VC can unblock every parked request, whichever resource
         # it was short of (the freed VC may have credits to spare).
         waiters = self.vca_waiters
         if waiters:
-            for router, key in waiters:
+            for router, key, _size in waiters:
                 router._vca_pending.add(key)
             waiters.clear()
         waiters = self.vca_credit_waiters
         if waiters:
-            for router, key in waiters:
+            for router, key, _size in waiters:
                 router._vca_pending.add(key)
             waiters.clear()
 
@@ -217,6 +259,7 @@ class SharedMedium:
         "token_losses",
         "index",
         "_wake",
+        "_k",
     )
 
     def __init__(
@@ -264,6 +307,9 @@ class SharedMedium:
         # becomes non-empty so the simulator re-registers this medium in
         # its active set.
         self._wake: Optional[Callable[["SharedMedium"], None]] = None
+        # Struct-of-arrays binding (repro.noc.kernels): token position /
+        # timer mirrors are written through when a KernelState is bound.
+        self._k = None
 
     def register(self, link: "Link") -> None:
         self.member_index[link] = len(self.members)
@@ -307,6 +353,10 @@ class SharedMedium:
         self.grant_at = now + self.arb_latency
         self.grants += 1
         self.token_wait_cycles += self.arb_latency
+        k = self._k
+        if k is not None:
+            k.med_holder[self.index] = best_link.index
+            k.med_grant_at[self.index] = self.grant_at
         waiters = best_link.sa_token_waiters
         if waiters:
             # Re-arm VCs that parked while the token was elsewhere. Grants
@@ -318,6 +368,8 @@ class SharedMedium:
                 vc = router.input_ports[key[0]].vcs[key[1]]
                 if vc.state is _VC_ACTIVE and vc.queue:
                     router._sa_active.add(key)
+                    if router._kern is not None:
+                        router._kern.sa_slots.add(vc.gslot)
             del waiters[:]
         return best_link
 
@@ -332,6 +384,9 @@ class SharedMedium:
             self.grant_at = now + self.arb_latency
             self.grants += 1
             self.token_wait_cycles += self.arb_latency
+            if self._k is not None:
+                self._k.med_holder[self.index] = self.holder.index
+                self._k.med_grant_at[self.index] = self.grant_at
 
     def can_transmit(self, link: "Link", now: int) -> bool:
         return (
@@ -351,17 +406,26 @@ class SharedMedium:
             raise ValueError(f"recovery_cycles must be >= 1, got {recovery_cycles}")
         self.blocked_until = max(self.blocked_until, now + recovery_cycles)
         self.token_losses += 1
+        if self._k is not None:
+            self._k.med_blocked[self.index] = self.blocked_until
 
     def on_flit_sent(self, now: int, cycles_per_flit: int, is_tail: bool) -> None:
         self.busy_until = now + cycles_per_flit
         self.flits_carried += 1
         if is_tail:
             self.holder = None
+        k = self._k
+        if k is not None:
+            k.med_busy[self.index] = self.busy_until
+            if is_tail:
+                k.med_holder[self.index] = -1
 
     def release_if_holder(self, link: "Link") -> None:
         """Force-release (used when a holder is torn down in tests)."""
         if self.holder is link:
             self.holder = None
+            if self._k is not None:
+                self._k.med_holder[self.index] = -1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SharedMedium({self.name}, kind={self.kind}, members={len(self.members)})"
@@ -414,6 +478,8 @@ class Link:
         "channel_id",
         "pending_requests",
         "sa_token_waiters",
+        "index",
+        "_k",
     )
 
     def __init__(
@@ -474,6 +540,11 @@ class Link:
         # no tracer is attached -- with a tracer the router keeps polling so
         # the per-cycle stall record stream is preserved.
         self.sa_token_waiters: List[tuple] = []
+        # Struct-of-arrays binding (repro.noc.kernels): position of this
+        # link in the flat link arrays (-1 until a KernelState binds the
+        # owning network), and the state block for busy-timer write-through.
+        self.index = -1
+        self._k = None
         if medium is not None:
             medium.register(self)
 
@@ -508,9 +579,22 @@ class Link:
             return False
         return now >= self.busy_until and not self.medium.can_transmit(self, now)
 
+    def set_busy_until(self, cycle: int) -> None:
+        """Write the serialization timer through to the array mirror.
+
+        Every ``busy_until`` write outside the simulator's inlined send path
+        (fault-layer stalls, unit tests) must go through here so the kernel
+        SA sweep sees the stall.
+        """
+        self.busy_until = cycle
+        if self._k is not None:
+            self._k.link_busy[self.index] = cycle
+
     def on_flit_sent(self, now: int, flit: "Flit", flit_width_bits: int) -> None:
         """Book-keeping when a flit begins traversal."""
         self.busy_until = now + self.cycles_per_flit
+        if self._k is not None:
+            self._k.link_busy[self.index] = self.busy_until
         self.flits_carried += 1
         self.bits_carried += flit_width_bits
         if self.medium is not None:

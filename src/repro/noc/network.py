@@ -50,6 +50,7 @@ class NetworkInterface:
         "current_vc",
         "flits_injected",
         "packets_queued",
+        "parked",
         "_wake",
     )
 
@@ -60,9 +61,15 @@ class NetworkInterface:
         self.current_vc: Optional[int] = None
         self.flits_injected = 0
         self.packets_queued = 0
+        #: Backlogged but blocked on the endpoint (no free/funded VC): out
+        #: of the simulator's active set until a credit return or VC release
+        #: on the endpoint re-arms it (failed pumps have no side effects, so
+        #: skipping them is invisible to the simulation result).
+        self.parked = False
         # Scheduler callback: invoked with ``self`` on the empty->backlogged
         # transition so the simulator re-registers this NI in its active set.
         self._wake: Optional[Callable[["NetworkInterface"], None]] = None
+        endpoint.ni = self
 
     def enqueue_packet(self, packet: Packet) -> None:
         if not self.queue and self._wake is not None:
@@ -107,6 +114,8 @@ class NetworkInterface:
             for v in range(endpoint.num_vcs):
                 if not vc_busy[v] and credits[v] >= size:
                     vc_busy[v] = True  # Endpoint.acquire_vc, inlined
+                    if endpoint._k is not None:
+                        endpoint._k.vc_busy[endpoint.kslot + v] = True
                     self.current_vc = vc = v
                     break
             else:
@@ -115,6 +124,8 @@ class NetworkInterface:
             return 0
         queue.popleft()
         credits[vc] -= 1  # Endpoint.take_credit, inlined (credit > 0 above)
+        if endpoint._k is not None:
+            endpoint._k.credits[endpoint.kslot + vc] = credits[vc]
         endpoint.router.deliver_flit(endpoint.in_port, vc, flit)
         self.flits_injected += 1
         if flit.is_head:

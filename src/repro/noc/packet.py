@@ -39,6 +39,13 @@ class FlitKind(enum.IntEnum):
         return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
 
 
+#: Flag tables indexed by ``FlitKind`` value. ``Flit.__init__`` runs once per
+#: flit ever created; the enum properties above allocate a tuple and run two
+#: enum comparisons per call, which is measurable at millions of flits.
+_KIND_IS_HEAD = (True, False, False, True)
+_KIND_IS_TAIL = (False, False, True, True)
+
+
 class PacketIdAllocator:
     """Instance-scoped packet-id source.
 
@@ -202,9 +209,10 @@ class Flit:
         self.seq = seq
         self.fate: Optional[str] = None
         # Plain booleans (not properties): these flags are consulted several
-        # times per flit per cycle on the switch-allocation hot path.
-        self.is_head: bool = kind.is_head
-        self.is_tail: bool = kind.is_tail
+        # times per flit per cycle on the switch-allocation hot path. The
+        # table lookup avoids the enum-property cost on every construction.
+        self.is_head: bool = _KIND_IS_HEAD[kind]
+        self.is_tail: bool = _KIND_IS_TAIL[kind]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Flit(pid={self.packet.pid}, {self.kind.name}, seq={self.seq})"

@@ -81,6 +81,7 @@ class Router:
         "_rc_pending",
         "_vca_pending",
         "_wake",
+        "_kern",
         "buffer_writes",
         "buffer_reads",
         "xbar_traversals",
@@ -124,6 +125,10 @@ class Router:
         # set. ``None`` when no simulator is attached (unit tests driving
         # stages by hand).
         self._wake: Optional[Callable[["Router"], None]] = None
+        # Struct-of-arrays binding (repro.noc.kernels.KernelState): set when
+        # a simulator builds its array state block over this network. The
+        # stage methods write through to the array mirrors when bound.
+        self._kern = None
         # Activity counters for the power model:
         self.buffer_writes = 0
         self.buffer_reads = 0
@@ -194,6 +199,11 @@ class Router:
                 "credit accounting is broken"
             )
         queue.append(flit)
+        kern = self._kern
+        if kern is not None:
+            # Plain store of the new depth: cheaper than an ndarray
+            # read-modify-write on this per-flit-hop path.
+            kern.occ[vc_obj.gslot] = len(queue)
         state = vc_obj.state
         if state is VCState.IDLE:
             # A head flit (or a body flit queued behind an un-routed head)
@@ -202,6 +212,8 @@ class Router:
         elif state is VCState.ACTIVE:
             # A body flit caught up with its already-switching packet.
             self._sa_active.add((in_port, vc))
+            if kern is not None:
+                kern.sa_slots.add(vc_obj.gslot)
         if not self._occupied and self._wake is not None:
             self._wake(self)
         self._occupied.add((in_port, vc))
@@ -234,6 +246,7 @@ class Router:
             raise RuntimeError(f"router {self.rid} has no routing function")
         self._rc_pending = set()
         input_ports = self.input_ports
+        kern = self._kern
         for (ip, iv) in pending if len(pending) == 1 else sorted(pending):
             vc = input_ports[ip].vcs[iv]
             if vc.state is not VCState.IDLE or not vc.queue:
@@ -261,40 +274,38 @@ class Router:
                     routing.allowed_vcs(self, vc.out_port, packet)
                 )
             vc.state = VCState.WAITING_VC
+            if kern is not None:
+                kern.vc_state[vc.gslot] = 2
             self._vca_pending.add((ip, iv))
 
     def stage_vca(self, now: int) -> None:
         """Virtual-channel allocation for VCs that completed RC.
 
-        Contention for downstream VCs is first-come-first-served in the
-        order the dense reference loop scans ``_occupied`` (set order), so
-        the poll below iterates ``_occupied`` restricted to pending keys --
-        iterating ``_vca_pending`` directly would re-order grants between
-        competing inputs and change which packet wins a contended VC.
-        Candidate endpoint/VC sets were cached at RC time; blocked VCs park
-        on the endpoint (see below) instead of re-polling every cycle.
+        Contention for downstream VCs is granted in ascending
+        ``(in_port, vc)`` order -- deterministic by construction, shared by
+        the dense reference loop and the array-kernel path alike. (Earlier
+        revisions scanned ``_occupied`` in CPython set order, which was
+        deterministic only as an implementation accident and impossible to
+        reproduce from flat array state.) Candidate endpoint/VC sets were
+        cached at RC time; blocked VCs park on the endpoint (see below)
+        instead of re-polling every cycle.
         """
         pending = self._vca_pending
         if not pending:
             return
         tracer = self.tracer
         input_ports = self.input_ports
-        if len(pending) == 1:
-            keys = tuple(pending)
-        else:
-            keys = []
-            remaining = len(pending)
-            for k in self._occupied:
-                if k in pending:
-                    keys.append(k)
-                    remaining -= 1
-                    if not remaining:
-                        break
+        kern = self._kern
+        # Every branch below consumes its key (grant, park, or stale), and
+        # nothing in the loop re-arms this router, so swap the set out once
+        # instead of discarding per key. Re-arms from earlier phases landed
+        # before the snapshot; re-arms from later phases land in the fresh set.
+        self._vca_pending = set()
+        keys = tuple(pending) if len(pending) == 1 else sorted(pending)
         for key in keys:
             ip, iv = key
             vc = input_ports[ip].vcs[iv]
             if vc.state is not VCState.WAITING_VC:
-                pending.discard(key)
                 continue
             endpoint = vc.cand_endpoint
             if endpoint.is_sink:
@@ -302,8 +313,13 @@ class Router:
                 vc.endpoint = endpoint
                 vc.state = VCState.ACTIVE
                 self.vca_grants += 1
-                pending.discard(key)
                 self._sa_active.add(key)
+                if kern is not None:
+                    s = vc.gslot
+                    kern.vc_state[s] = 3
+                    kern.head_link[s] = self.out_links[vc.out_port].index
+                    kern.head_credit[s] = -1
+                    kern.sa_slots.add(s)
                 continue
             packet = vc.queue[0].packet
             # Inlined Endpoint.can_accept_packet (virtual cut-through
@@ -321,9 +337,16 @@ class Router:
                         vc.endpoint = endpoint
                         vc.state = VCState.ACTIVE
                         self.vca_grants += 1
-                        pending.discard(key)
                         self._sa_active.add(key)
                         link = self.out_links[vc.out_port]
+                        if kern is not None:
+                            s = vc.gslot
+                            kern.vc_state[s] = 3
+                            kern.head_link[s] = link.index
+                            kern.head_credit[s] = endpoint.kslot + cand
+                            kern.sa_slots.add(s)
+                        if endpoint._k is not None:
+                            endpoint._k.vc_busy[endpoint.kslot + cand] = True
                         medium = link.medium
                         if medium is not None:
                             link.pending_requests += 1
@@ -342,11 +365,10 @@ class Router:
                 # back in ``_vca_pending`` before any cycle in which it could
                 # be granted (bit-identical to dense polling, whose failed
                 # re-polls have no side effects).
-                pending.discard(key)
                 if short_of_credit:
-                    endpoint.vca_credit_waiters.append((self, key))
+                    endpoint.vca_credit_waiters.append((self, key, size))
                 else:
-                    endpoint.vca_waiters.append((self, key))
+                    endpoint.vca_waiters.append((self, key, size))
 
     def wants_link(self, link: Link, now: int) -> bool:
         """Does any ACTIVE VC here have a flit ready for ``link``?
@@ -425,6 +447,8 @@ class Router:
                     # (arb latency / serialization) resolve within a few
                     # cycles and keep polling.
                     occ.discard((ip, iv))
+                    if self._kern is not None:
+                        self._kern.sa_slots.discard(vc.gslot)
                     link.sa_token_waiters.append((self, (ip, iv)))
                 return 0
             arb = self._in_arbs[ip]
@@ -478,6 +502,8 @@ class Router:
                     elif medium.holder is not link:
                         # See the single-entry path: park until granted.
                         occ.discard((ip, iv))
+                        if self._kern is not None:
+                            self._kern.sa_slots.discard(vc.gslot)
                         link.sa_token_waiters.append((self, (ip, iv)))
                     continue
                 req_ivs.append(iv)
@@ -540,13 +566,20 @@ class Router:
         queue = vc.queue
         flit = queue.popleft()
         key = (in_port, vc.index)
+        kern = self._kern
+        if kern is not None:
+            kern.occ[vc.gslot] = len(queue)
         if not queue:
             self._occupied.discard(key)
             self._sa_active.discard(key)
+            if kern is not None:
+                kern.sa_slots.discard(vc.gslot)
         elif flit.is_tail:
             # Next packet's head is now at the front: it must re-run RC/VCA
             # before competing in SA again.
             self._sa_active.discard(key)
+            if kern is not None:
+                kern.sa_slots.discard(vc.gslot)
         self.buffer_reads += 1
         self.xbar_traversals += 1
         self.sa_grants += 1
@@ -566,6 +599,8 @@ class Router:
             # Endpoint.take_credit, inlined; SA eligibility just proved
             # credits[out_vc] > 0 this cycle, so no underflow guard needed.
             endpoint.credits[out_vc] -= 1
+            if endpoint._k is not None:
+                endpoint._k.credits[endpoint.kslot + out_vc] = endpoint.credits[out_vc]
         # Link/medium busy + bit accounting happens inside send_fn so the
         # simulator can apply the configured flit width consistently.
         if flit.is_tail:

@@ -44,9 +44,11 @@ flits are in flight.
 from __future__ import annotations
 
 import heapq
+import os
 from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.noc.kernels import KernelState
 from repro.noc.links import Endpoint, Link, SharedMedium
 from repro.noc.network import Network, NetworkInterface
 from repro.noc.packet import Flit, Packet, PacketIdAllocator
@@ -168,6 +170,20 @@ class Simulator:
         # A disabled tracer is indistinguishable from no tracer: hot paths
         # guard on ``self._tracer is not None`` and nothing else.
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        # Struct-of-arrays state block (repro.noc.kernels): authoritative
+        # credit/busy arrays plus per-VC / link / medium mirrors, bound into
+        # the object model. Built in both modes (telemetry and invariants
+        # read it); the kernel SA sweep replaces the per-router object scan
+        # only on the fast untraced path -- ``dense=True`` keeps the object
+        # loop as the reference implementation, and REPRO_NOC_KERNELS=0
+        # forces the object path as an escape hatch.
+        self.kernels = KernelState.build(network)
+        self._sa_kernel = (
+            not dense
+            and self._tracer is None
+            and self.kernels.supported
+            and os.environ.get("REPRO_NOC_KERNELS", "1") != "0"
+        )
         if self._tracer is not None:
             self._tracer.bind(self)
         if faults is not None:
@@ -220,6 +236,8 @@ class Simulator:
     def _send_fn(self, link: Link, endpoint: Endpoint, flit: Flit, out_vc: int, now: int) -> None:
         # Link.on_flit_sent, inlined (one call per flit-hop).
         link.busy_until = now + link.cycles_per_flit
+        if link._k is not None:
+            link._k.link_busy[link.index] = link.busy_until
         link.flits_carried += 1
         link.bits_carried += self._flit_width
         if link.medium is not None:
@@ -308,12 +326,24 @@ class Simulator:
                     # including the parked-VCA re-arm.
                     endpoint = ev[1]
                     if not endpoint.is_sink:
-                        endpoint.credits[ev[2]] += 1
+                        v = ev[2]
+                        c = endpoint.credits[v] + 1
+                        endpoint.credits[v] = c
+                        if endpoint._k is not None:
+                            endpoint._k.credits[endpoint.kslot + v] = c
+                        ni = endpoint.ni
+                        if ni is not None and ni.parked:
+                            ni.parked = False
+                            self._active_nis.add(ni)
                         waiters = endpoint.vca_credit_waiters
-                        if waiters:
-                            for router, key in waiters:
-                                router._vca_pending.add(key)
-                            waiters.clear()
+                        if waiters and not endpoint.vc_busy[v]:
+                            # Size-filtered re-arm; see Endpoint.return_credit.
+                            kept = [w for w in waiters if w[2] > c]
+                            if len(kept) != len(waiters):
+                                for router, key, size in waiters:
+                                    if size <= c:
+                                        router._vca_pending.add(key)
+                                endpoint.vca_credit_waiters = kept
                 else:  # link-layer ACK/NACK arrival ("llack")
                     self._faults.handle_event(ev, now)
 
@@ -348,9 +378,16 @@ class Simulator:
             routers = sorted(active_routers, key=_router_key)
             send_fn = self._send_fn
             credit_fn = self._credit_fn
-            for router in routers:
-                if router._sa_active:
-                    moved += router.stage_sa(now, send_fn, credit_fn)
+            if self._sa_kernel:
+                # Struct-of-arrays path: one network-wide sweep over the
+                # flat slot arrays (bit-identical to the per-router object
+                # scan below; see repro.noc.kernels).
+                if self.kernels.sa_slots:
+                    moved += self.kernels.sa_sweep(now, send_fn, credit_fn)
+            else:
+                for router in routers:
+                    if router._sa_active:
+                        moved += router.stage_sa(now, send_fn, credit_fn)
             for router in routers:
                 if router._vca_pending:
                     router.stage_vca(now)
@@ -370,8 +407,16 @@ class Simulator:
         if active_nis:
             for ni in sorted(active_nis, key=_ni_key):
                 if ni.queue:
-                    moved += ni.pump(now)
-                    if not ni.queue:
+                    if ni.pump(now):
+                        moved += 1
+                        if not ni.queue:
+                            active_nis.discard(ni)
+                    else:
+                        # Blocked on the endpoint (no free/funded VC): park
+                        # until a credit return or VC release re-arms it.
+                        # Failed pumps have no side effects, so skipping the
+                        # re-polls is invisible to the simulation result.
+                        ni.parked = True
                         active_nis.discard(ni)
                 else:
                     active_nis.discard(ni)

@@ -63,6 +63,27 @@ def code_fingerprint() -> str:
     return _code_fingerprint
 
 
+def fingerprint_files() -> Tuple[str, ...]:
+    """Package-relative paths covered by :func:`code_fingerprint`.
+
+    Audit companion to the fingerprint: the hash itself is opaque, so
+    tests assert coverage against this list instead (e.g. that hot-path
+    modules like ``noc/kernels.py`` invalidate the cache when edited).
+    Uses the same walk/filter logic, so the two cannot drift apart.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    out = []
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            out.append(os.path.relpath(os.path.join(dirpath, fname), root))
+    return tuple(out)
+
+
 def freeze_kwargs(kwargs: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
     """Normalise builder kwargs into a sorted, hashable tuple of pairs.
 
@@ -227,12 +248,15 @@ class RunSpec:
         (``Executor(trace_dir=...)``), not a spec knob, because the event
         stream is not cacheable payload.
     dense:
-        Force the simulator to execute every cycle instead of
-        fast-forwarding through quiescent stretches (see
-        :class:`repro.noc.simulator.Simulator`). Results are bit-identical
-        either way -- this knob exists to *prove* that (CI diffs a dense
-        sweep against the fast-generated golden log) and as a fallback
-        while debugging the scheduler itself.
+        Force the reference engine: execute every cycle instead of
+        fast-forwarding through quiescent stretches, and drive switch
+        allocation through the per-router object scan instead of the
+        vectorized array kernel (see
+        :class:`repro.noc.simulator.Simulator` and
+        :mod:`repro.noc.kernels`). Results are bit-identical either way
+        -- this knob exists to *prove* that (CI diffs a dense sweep
+        against the fast-generated golden log at a 0% threshold) and as
+        a fallback while debugging the scheduler or the kernels.
     tag:
         Free-form variant label (e.g. ``"hot+burst/adaptive"``). Part of
         the digest (two variants never share a cache entry), appended to

@@ -1,0 +1,176 @@
+"""Struct-of-arrays kernel state: binding, coherence, and bit-identity.
+
+The dense/fast property suite (``tests/runtime/test_fastforward_property.py``
+and ``tests/control/test_control_property.py``) already proves the kernel
+SA sweep end-to-end -- fast untraced runs drive it by default. The tests
+here pin the pieces those properties cannot localise: the slot layout and
+endpoint mirror binding, the write-through mirrors staying coherent mid-run,
+the scalar-vs-bulk winner selection, and the fallback/escape hatches.
+"""
+
+import pytest
+
+from repro.noc import Simulator, reset_packet_ids
+from repro.noc.invariants import audit_network
+from repro.noc.kernels import KernelState
+from repro.noc.stats import StatsCollector
+from repro.runtime.registry import build_topology
+from repro.topologies import build_cmesh
+from repro.traffic import SyntheticTraffic
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_packet_ids()
+
+
+def _delivery_log(sim):
+    """Patch the collector to record (cycle, pid) ejections in order."""
+    events = []
+    orig = sim.stats.on_packet_ejected
+
+    def patched(packet, now):
+        events.append((now, packet.pid))
+        return orig(packet, now)
+
+    sim.stats.on_packet_ejected = patched
+    return events
+
+
+def _own256_sim(**kw):
+    built = build_topology("own256")
+    traffic = SyntheticTraffic(built.n_cores, "UN", 0.05, 4, seed=7, stop_cycle=300)
+    return Simulator(built.network, traffic=traffic, **kw)
+
+
+class TestBinding:
+    def test_layout_and_views(self):
+        built = build_cmesh(64)
+        net = built.network
+        k = KernelState.build(net)
+        assert k.supported
+        V = k.num_vcs
+        for router in net.routers:
+            base = int(k.vslot_base[router.rid])
+            for ip, port in enumerate(router.input_ports):
+                for iv, vc in enumerate(port.vcs):
+                    s = base + ip * V + iv
+                    assert vc.gslot == s
+                    assert k.slot_router[s] is router
+                    assert k.slot_ip[s] == ip
+                    assert k.slot_vc[s] is vc
+            for ip, endpoint in enumerate(router.input_endpoints):
+                # Authoritative lists stay on the endpoint; the kernel
+                # holds write-through mirrors updated by every mutator.
+                pbase = base + ip * V
+                assert endpoint.kslot == pbase
+                assert endpoint._k is k
+                assert list(endpoint.credits) == k.credits[pbase : pbase + V].tolist()
+                assert (
+                    list(endpoint.vc_busy) == k.vc_busy[pbase : pbase + V].tolist()
+                )
+                endpoint.take_credit(0)
+                try:
+                    assert int(k.credits[pbase]) == endpoint.credits[0]
+                finally:
+                    endpoint.return_credit(0)
+                endpoint.acquire_vc(1)
+                try:
+                    assert bool(k.vc_busy[pbase + 1])
+                finally:
+                    endpoint.release_vc(1)
+                assert not bool(k.vc_busy[pbase + 1])
+
+    def test_links_and_mediums_indexed(self):
+        built = build_topology("own256")
+        net = built.network
+        k = KernelState.build(net)
+        assert k.supported
+        for li, link in enumerate(net.links):
+            assert link.index == li
+            assert link._k is k
+            assert int(k.link_busy[li]) == link.busy_until
+        assert len(net.mediums) > 0
+        for mi, medium in enumerate(net.mediums):
+            assert medium._k is k
+            assert int(k.med_holder[mi]) == -1
+
+    def test_mixed_vc_network_unsupported(self):
+        built = build_cmesh(64)
+        net = built.network
+        net.routers[0].num_vcs = net.num_vcs + 1
+        k = KernelState.build(net)
+        assert not k.supported
+        sim = Simulator(
+            net, traffic=SyntheticTraffic(64, "UN", 0.02, 4, seed=1, stop_cycle=50)
+        )
+        assert not sim._sa_kernel  # falls back to the object path
+
+
+class TestCoherence:
+    def test_mirrors_stay_coherent_mid_run(self):
+        sim = _own256_sim()
+        assert sim._sa_kernel
+        for chunk in range(6):
+            sim.run(50)
+            audit_network(sim)  # includes check_kernel_coherence
+        assert sim.stats.packets_ejected > 0
+
+    def test_coherent_under_faults_and_drain(self):
+        from repro.runtime.executor import execute_inline
+        from repro.runtime.spec import FaultSpec, RunSpec
+
+        spec = RunSpec.create(
+            topology="own256",
+            pattern="UN",
+            rate=0.05,
+            cycles=250,
+            warmup=50,
+            seed=7,
+            drain=2000,
+            faults=FaultSpec(kind="bursty", burst_rate=0.02, burst_duration=20),
+        )
+        _, sim, _ = execute_inline(spec)
+        assert sim._sa_kernel
+        audit_network(sim)
+
+    def test_router_occupancy_matches_object_loop(self):
+        sim = _own256_sim()
+        sim.run(150)
+        totals = sim.kernels.router_occupancy()
+        assert totals is not None
+        expect = [r.occupancy() for r in sim.network.routers]
+        assert totals.tolist() == expect
+
+
+class TestBitIdentity:
+    def _run(self, **kw):
+        reset_packet_ids()
+        sim = _own256_sim(**kw)
+        events = _delivery_log(sim)
+        sim.run(300)
+        sim.drain()
+        return events, sim
+
+    def test_kernel_object_and_dense_paths_identical(self, monkeypatch):
+        kernel_events, ksim = self._run()
+        assert ksim._sa_kernel
+        dense_events, dsim = self._run(dense=True)
+        assert not dsim._sa_kernel
+        monkeypatch.setenv("REPRO_NOC_KERNELS", "0")
+        object_events, osim = self._run()
+        assert not osim._sa_kernel  # escape hatch: fast loop, object SA
+        assert kernel_events, "scenario delivered no packets"
+        assert kernel_events == dense_events == object_events
+
+    def test_bulk_winner_selection_matches_scalar(self):
+        scalar_events, ssim = self._run()
+        reset_packet_ids()
+        sim = _own256_sim()
+        sim.kernels.bulk_threshold = 0  # force the lexsort path every sweep
+        bulk_events = _delivery_log(sim)
+        sim.run(300)
+        sim.drain()
+        assert scalar_events
+        assert bulk_events == scalar_events
+        assert tuple(sim.stats.latencies) == tuple(ssim.stats.latencies)

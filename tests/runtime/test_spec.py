@@ -94,6 +94,23 @@ class TestDigest:
         # records surface power/engine counters (docs/observability.md).
         assert SCHEMA_VERSION == 2
 
+    def test_fingerprint_covers_hot_path_modules(self):
+        # The fingerprint must invalidate cached results when the physics
+        # *or* the engine changes; editing the vectorized kernels while
+        # serving stale cached runs would hide a determinism bug.
+        from repro.runtime.spec import fingerprint_files
+
+        files = fingerprint_files()
+        for mod in (
+            "noc/kernels.py",
+            "noc/router.py",
+            "noc/simulator.py",
+            "noc/arbiters.py",
+            "runtime/spec.py",
+        ):
+            assert mod in files, f"{mod} not covered by code_fingerprint()"
+        assert all(f.endswith(".py") for f in files)
+
 
 class TestRoundTrip:
     def test_to_from_dict(self):
