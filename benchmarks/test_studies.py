@@ -17,6 +17,7 @@ from repro.analysis import (
     study_fault_tolerance,
     study_reconfiguration,
     study_thermal,
+    study_workloads,
 )
 
 
@@ -89,6 +90,30 @@ def test_bursty(run_experiment):
     # with the burst factor.
     assert rows[4.0][3] == pytest.approx(rows[1.0][3], rel=0.2)
     assert rows[4.0][2] > rows[1.0][2]
+
+
+def test_workloads(run_experiment):
+    result = run_experiment(study_workloads, quick=True)
+    cells = {(row[0], row[2], row[3]): row for row in result.rows}
+    # Full own256 slice: 5 workloads x 2 fault campaigns x 2 scenarios.
+    assert len(result.rows) == 20
+    # Every cell carries an attribution verdict.
+    assert all(row[-1] and row[-1] != "no-telemetry" for row in result.rows)
+    # The wireless technology scenario scales power, never timing: within
+    # any (workload, faults) pair the latency columns are identical and
+    # conservative power >= ideal power.
+    for (wl, faults, wireless), row in cells.items():
+        if wireless != "ideal":
+            continue
+        twin = cells[(wl, faults, "conservative")]
+        assert twin[4] == row[4] and twin[5] == row[5]
+        assert twin[8] >= row[8]
+    # The blends are the pathological mixes: worst p99 comes from one.
+    assert result.notes["worst_p99_cell"].split("/")[0] in ("mixed", "adversarial")
+    # Collectives saturate the broadcast channels; the sparse service DAG
+    # waits on tokens instead.
+    assert cells[("collective", "clean", "ideal")][-1] == "wireless-occupancy"
+    assert cells[("microservice", "clean", "ideal")][-1] == "token-wait"
 
 
 def test_adaptive_control(run_experiment):

@@ -27,6 +27,12 @@ Commands
     power deltas with noise bands from repeated runs); exits non-zero
     when a gated metric regresses beyond the noise band plus
     ``--threshold`` -- the CI regression gate.
+``scenarios``
+    The application-workload scenario matrix ({workload} x {topology} x
+    {fault campaign} x {wireless scenario}; see ``docs/workloads.md``):
+    ``list`` the cells, ``run`` a (filtered) suite through the cached
+    engine with per-cell bottleneck-attribution verdicts folded into the
+    run records, or ``replay`` a previous run's JSONL log as a table.
 """
 
 from __future__ import annotations
@@ -301,6 +307,101 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.clean else 1
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads import (
+        attribution_report,
+        filter_cells,
+        render_scenarios,
+        run_scenarios,
+        scenario_matrix,
+    )
+
+    if args.action == "replay":
+        return _scenarios_replay(args)
+
+    cycles, warmup = args.cycles, args.warmup
+    if args.quick:
+        cycles, warmup = min(cycles, 400), min(warmup, 100)
+    cells = scenario_matrix(cycles=cycles, warmup=warmup, seed=args.seed)
+    if args.only:
+        cells = filter_cells(cells, args.only)
+    if not cells:
+        print(f"no scenario cells match --only {args.only!r}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        for cell in cells:
+            print(f"{cell.key:48s} {cell.spec.digest()[:12]}")
+        print(f"{len(cells)} cells", file=sys.stderr)
+        return 0
+
+    def _progress(done: int, total: int, result) -> None:
+        tag = "cache" if result.cache_hit else f"{result.wall_s:.1f}s"
+        print(f"  [{done}/{total}] {result.spec.tag} ({tag})", file=sys.stderr)
+
+    executor = Executor(jobs=args.jobs, cache=args.cache, progress=_progress)
+    outcomes = run_scenarios(cells, executor, runlog=args.runlog)
+    print(render_scenarios(outcomes, title=f"Scenario matrix ({len(cells)} cells)"))
+    if args.report:
+        from repro.runtime.records import json_safe
+
+        with open(args.report, "w") as fh:
+            json.dump(json_safe(attribution_report(outcomes)), fh, indent=1)
+        print(f"wrote {args.report}", file=sys.stderr)
+    report_engine_stats(executor)
+    return 0
+
+
+def _scenarios_replay(args: argparse.Namespace) -> int:
+    """``scenarios replay``: re-render a scenario run log as a table."""
+    import json
+
+    from repro.analysis import format_table
+    from repro.workloads import SCENARIO_HEADERS
+
+    if not args.runlog_path:
+        print("scenarios replay needs a run-log path", file=sys.stderr)
+        return 2
+    rows = []
+    try:
+        with open(args.runlog_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                scn = record.get("scenario")
+                if not scn:
+                    continue
+                summary = record.get("summary", {})
+                power = record.get("power", {})
+                total_w = 0.0
+                for block in power.values():
+                    if isinstance(block, dict) and "total_w" in block:
+                        total_w = block["total_w"]
+                rows.append([
+                    scn.get("workload"), scn.get("topology"),
+                    scn.get("faults"), scn.get("wireless"),
+                    round(summary.get("latency_mean") or float("nan"), 1),
+                    round(summary.get("latency_p99") or float("nan"), 1),
+                    round(summary.get("throughput", 0.0), 4),
+                    int(summary.get("packets_retransmitted", 0)),
+                    round(total_w, 2),
+                    record.get("verdict", "?"),
+                ])
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"no scenario records in {args.runlog_path}", file=sys.stderr)
+        return 2
+    print(format_table(SCENARIO_HEADERS, rows,
+                       title=f"Scenario run log ({len(rows)} cells)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -373,6 +474,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 0 even when the logs share no run points",
     )
     p_diff.set_defaults(fn=cmd_diff)
+
+    p_scn = sub.add_parser(
+        "scenarios",
+        help="workload x topology x faults x wireless scenario matrix",
+    )
+    p_scn.add_argument(
+        "action", choices=("list", "run", "replay"),
+        help="list matrix cells, run a suite, or re-render a run log",
+    )
+    p_scn.add_argument(
+        "runlog_path", nargs="?", default=None,
+        help="JSONL run log to re-render (replay action only)",
+    )
+    p_scn.add_argument(
+        "--only", default="", metavar="EXPR",
+        help="keep cells whose key contains every comma-separated term "
+             "(e.g. 'coherence,own256,ideal')",
+    )
+    p_scn.add_argument("--cycles", type=int, default=1500)
+    p_scn.add_argument("--warmup", type=int, default=300)
+    p_scn.add_argument("--seed", type=int, default=2)
+    p_scn.add_argument("--quick", action="store_true",
+                       help="cap windows at 400/100 cycles")
+    p_scn.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for matrix cells (default: 1, serial)",
+    )
+    p_scn.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+        metavar="DIR",
+        help=f"reuse cached results from DIR (default dir: {DEFAULT_CACHE_DIR})",
+    )
+    p_scn.add_argument(
+        "--runlog", default=None, metavar="PATH",
+        help="append one JSONL record per cell (scenario coordinates and "
+             "attribution verdict included) to PATH",
+    )
+    p_scn.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the per-cell attribution report as JSON to PATH",
+    )
+    p_scn.set_defaults(fn=cmd_scenarios)
     return parser
 
 

@@ -1044,6 +1044,55 @@ def study_adaptive(
     )
 
 
+def study_workloads(
+    quick: bool = False, executor: Optional[Executor] = None
+) -> ExperimentResult:
+    """Application workloads across the scenario matrix (OWN-256).
+
+    Runs every application model from :mod:`repro.workloads` -- the
+    three generator families (microservice request DAGs, MPI
+    collectives, directory coherence) plus the mixed and adversarial
+    blends -- on OWN-256 under {clean, interference-burst} fault
+    campaigns and {ideal, conservative} wireless technology scenarios
+    (Table III), each cell annotated with its bottleneck-attribution
+    verdict. The synthetic-traffic figures answer "how does the fabric
+    handle rate X of pattern Y"; this study answers "what does a real
+    application shape see, and what limits it".
+
+    Expected shape: collectives and both blends saturate the wireless
+    broadcast channels (wireless-occupancy verdicts), coherence is
+    injection-bound at the home nodes, the sparse microservice DAG is
+    token-wait bound, the blends show the worst p99, and the
+    conservative wireless scenario costs power but not latency (the
+    technology scenario scales transceiver energy, not timing).
+    """
+    from repro.workloads import run_scenarios, scenario_matrix
+
+    cycles, warmup = (600, 150) if quick else (1500, 300)
+    cells = scenario_matrix(
+        topologies=("own256",), cycles=cycles, warmup=warmup
+    )
+    outcomes = run_scenarios(cells, executor)
+    rows = [o.row() for o in outcomes]
+    by_verdict: Dict[str, int] = {}
+    for o in outcomes:
+        by_verdict[o.verdict] = by_verdict.get(o.verdict, 0) + 1
+    worst = max(outcomes, key=lambda o: o.result.summary["latency_p99"])
+    notes: Dict[str, object] = {
+        "verdict_histogram": by_verdict,
+        "worst_p99_cell": worst.cell.key,
+        "worst_p99": round(worst.result.summary["latency_p99"], 1),
+    }
+    from repro.workloads.scenarios import SCENARIO_HEADERS
+
+    return ExperimentResult(
+        "Study: application workloads x faults x wireless (OWN-256)",
+        list(SCENARIO_HEADERS),
+        rows,
+        notes=notes,
+    )
+
+
 #: Registry used by benches and the reproduce-everything example.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1_channels,
@@ -1070,4 +1119,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "study_bursty": study_bursty_traffic,
     "study_degradation": study_degradation,
     "study_adaptive": study_adaptive,
+    "study_workloads": study_workloads,
 }

@@ -41,6 +41,7 @@ ARTIFACT_CONTEXT: Dict[str, str] = {
     "study_bursty": "Study — bursty traffic",
     "study_degradation": "Study — runtime faults, retransmission, failover",
     "study_adaptive": "Study — closed-loop control vs static failover",
+    "study_workloads": "Study — application workloads scenario matrix",
 }
 
 

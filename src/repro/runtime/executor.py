@@ -101,7 +101,20 @@ class RunResult:
 # --------------------------------------------------------------------- #
 
 
-def _make_traffic(spec: TrafficSpec, n_cores: int, stop_cycle: Optional[int]):
+def _make_traffic(
+    spec: TrafficSpec,
+    n_cores: int,
+    stop_cycle: Optional[int],
+    cycles: Optional[int] = None,
+):
+    if spec.kind == "workload":
+        from repro.workloads import build_workload_traffic
+
+        # The application model compiles to a deterministic trace covering
+        # the run's measured window (params may override the duration).
+        return build_workload_traffic(
+            spec, n_cores, stop_cycle, default_duration=cycles
+        )
     pattern = spec.pattern
     if pattern.upper() == "HOT" and (spec.hotspots or spec.hotspot_fraction != 0.2):
         from repro.traffic.patterns import TrafficPattern
@@ -281,7 +294,7 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     t0 = time.perf_counter()
     built = build_topology(spec.topology, **dict(spec.topology_kwargs))
     stop = spec.cycles if spec.drain else None
-    traffic = _make_traffic(spec.traffic, built.n_cores, stop)
+    traffic = _make_traffic(spec.traffic, built.n_cores, stop, cycles=spec.cycles)
     layer, hooks, fault_meta = _make_faults(spec, built)
     control_hooks, control_loop = _make_control(spec, built, layer)
     hooks = hooks + control_hooks

@@ -115,10 +115,19 @@ class TrafficSpec:
     """Open-loop traffic fully described by value.
 
     ``kind`` selects the generator class: ``"synthetic"`` (Bernoulli,
-    :class:`~repro.traffic.generator.SyntheticTraffic`) or ``"bursty"``
-    (Markov-modulated, :class:`~repro.traffic.bursty.BurstyTraffic`).
+    :class:`~repro.traffic.generator.SyntheticTraffic`), ``"bursty"``
+    (Markov-modulated, :class:`~repro.traffic.bursty.BurstyTraffic`) or
+    ``"workload"`` (an application model from :mod:`repro.workloads`,
+    compiled to a deterministic trace and replayed through
+    :class:`~repro.traffic.trace.TraceTraffic`).
     ``hotspot_fraction`` / ``hotspots`` parameterise the ``HOT`` pattern
     (an empty ``hotspots`` tuple keeps the pattern's default, core 0).
+
+    For ``kind="workload"``, ``workload`` names the generator in
+    :data:`repro.workloads.WORKLOADS`, ``workload_params`` carries its
+    frozen builder kwargs, ``rate`` maps onto the family's intensity
+    knob, and ``pattern`` is a free-form label (convention:
+    ``"wl-<name>"``) used only for run-record keying.
     """
 
     pattern: str = "UN"
@@ -130,15 +139,24 @@ class TrafficSpec:
     mean_burst_cycles: float = 20.0
     hotspot_fraction: float = 0.2
     hotspots: Tuple[int, ...] = ()
+    workload: str = ""
+    workload_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("synthetic", "bursty"):
+        if self.kind not in ("synthetic", "bursty", "workload"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if self.kind == "workload" and not self.workload:
+            raise ValueError('kind="workload" requires a workload name')
+        if self.workload and self.kind != "workload":
+            raise ValueError(f'workload={self.workload!r} requires kind="workload"')
         if not 0.0 <= self.hotspot_fraction <= 1.0:
             raise ValueError("hotspot_fraction must be in [0, 1]")
         # JSON round-trips deliver lists; re-freeze for hashability.
         object.__setattr__(
             self, "hotspots", tuple(int(c) for c in self.hotspots)
+        )
+        object.__setattr__(
+            self, "workload_params", freeze_kwargs(dict(self.workload_params))
         )
 
 
@@ -295,6 +313,8 @@ class RunSpec:
         mean_burst_cycles: float = 20.0,
         hotspot_fraction: float = 0.2,
         hotspots: Tuple[int, ...] = (),
+        workload: str = "",
+        workload_params: Optional[Mapping[str, object]] = None,
         drain: int = 0,
         faults: Optional[FaultSpec] = None,
         control: Optional[ControlSpec] = None,
@@ -317,6 +337,8 @@ class RunSpec:
                 mean_burst_cycles=mean_burst_cycles,
                 hotspot_fraction=hotspot_fraction,
                 hotspots=tuple(hotspots),
+                workload=workload,
+                workload_params=freeze_kwargs(workload_params),
             ),
             cycles=cycles,
             warmup=warmup,

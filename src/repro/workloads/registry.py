@@ -1,0 +1,163 @@
+"""Workload registry: string keys -> application-model builders.
+
+Mirrors the topology registry's contract: a
+:class:`~repro.runtime.spec.TrafficSpec` with ``kind="workload"``
+references its generator by name plus frozen params, never by object, so
+workload runs hash, cache and cross process boundaries like any other
+spec. :func:`build_workload_traffic` is the executor's entry point: it
+compiles the named model to a :class:`~repro.traffic.trace.TrafficTrace`
+(a pure function of name/params/seed/duration) and wraps it in the
+standard :class:`~repro.traffic.trace.TraceTraffic` replayer.
+
+``spec.rate`` maps onto each family's intensity knob (microservice
+request rate, coherence miss rate; collectives are iteration-driven and
+ignore it), so workload sweeps read like load sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.traffic.trace import TraceTraffic, TrafficTrace
+from repro.workloads.base import WorkloadModel
+from repro.workloads.blends import BlendWorkload
+from repro.workloads.coherence import CoherenceWorkload
+from repro.workloads.collectives import CollectiveWorkload
+from repro.workloads.microservice import MicroserviceWorkload
+
+#: Default intensity (``spec.rate``) per family, used by the scenario
+#: matrix; chosen well below OWN-256 saturation so matrix cells measure
+#: pattern shape, not pure overload.
+DEFAULT_RATES: Dict[str, float] = {
+    "microservice": 0.05,
+    "collective": 0.0,
+    "coherence": 0.008,
+    "mixed": 0.03,
+    "adversarial": 0.01,
+}
+
+
+def _build_microservice(duration: int, seed: int, rate: float, params: Dict) -> WorkloadModel:
+    params.setdefault("request_rate", rate if rate > 0 else 0.05)
+    return MicroserviceWorkload(duration=duration, seed=seed, **params)
+
+
+def _build_collective(duration: int, seed: int, rate: float, params: Dict) -> WorkloadModel:
+    return CollectiveWorkload(duration=duration, seed=seed, **params)
+
+
+def _build_coherence(duration: int, seed: int, rate: float, params: Dict) -> WorkloadModel:
+    params.setdefault("miss_rate", rate if rate > 0 else 0.008)
+    return CoherenceWorkload(duration=duration, seed=seed, **params)
+
+
+def _build_mixed(duration: int, seed: int, rate: float, params: Dict) -> WorkloadModel:
+    """Microservice + stencil sharing the fabric, uniform background."""
+    background = params.pop("background_rate", 0.01)
+    return BlendWorkload(
+        [
+            MicroserviceWorkload(
+                duration=duration, seed=seed * 2 + 1,
+                request_rate=rate if rate > 0 else 0.03,
+            ),
+            CollectiveWorkload(
+                duration=duration, seed=seed * 2 + 2, kind="stencil3d",
+                iterations=max(2, duration // 250),
+            ),
+        ],
+        duration=duration,
+        seed=seed,
+        background_rate=background,
+        **params,
+    )
+
+
+def _build_adversarial(duration: int, seed: int, rate: float, params: Dict) -> WorkloadModel:
+    """Tree all-reduce with a hotspot burst aimed at its own root."""
+    background = params.pop("background_rate", 0.02)
+    return BlendWorkload(
+        [
+            CollectiveWorkload(
+                duration=duration, seed=seed * 2 + 1, kind="allreduce_tree",
+                iterations=max(2, duration // 200), message_size=4,
+            ),
+            CoherenceWorkload(
+                duration=duration, seed=seed * 2 + 2,
+                miss_rate=rate if rate > 0 else 0.01,
+            ),
+        ],
+        duration=duration,
+        seed=seed,
+        background_rate=background,
+        adversarial=True,
+        **params,
+    )
+
+
+WorkloadBuilder = Callable[[int, int, float, Dict], WorkloadModel]
+
+#: The registry. The first three are the generator *families* the test
+#: harness golden-locks individually; the blends compose them.
+WORKLOADS: Dict[str, WorkloadBuilder] = {
+    "microservice": _build_microservice,
+    "collective": _build_collective,
+    "coherence": _build_coherence,
+    "mixed": _build_mixed,
+    "adversarial": _build_adversarial,
+}
+
+#: The non-composite families (one golden trace each).
+GENERATOR_FAMILIES: Tuple[str, ...] = ("microservice", "collective", "coherence")
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(sorted(WORKLOADS))
+
+
+def make_workload(
+    name: str,
+    duration: int = 2000,
+    seed: int = 1,
+    rate: float = 0.0,
+    params: Optional[Mapping[str, object]] = None,
+) -> WorkloadModel:
+    """Instantiate the named workload model."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {list(workload_names())}"
+        ) from None
+    return builder(int(duration), int(seed), float(rate), dict(params or {}))
+
+
+def workload_trace(
+    name: str,
+    n_cores: int,
+    duration: int = 2000,
+    seed: int = 1,
+    rate: float = 0.0,
+    params: Optional[Mapping[str, object]] = None,
+) -> TrafficTrace:
+    """Compile the named workload to a deterministic packet trace."""
+    return make_workload(name, duration, seed, rate, params).trace(n_cores)
+
+
+def build_workload_traffic(
+    spec: "TrafficSpec",  # noqa: F821 - structural (runtime import cycle)
+    n_cores: int,
+    stop_cycle: Optional[int],
+    default_duration: Optional[int] = None,
+) -> TraceTraffic:
+    """Executor hook: a ``kind="workload"`` TrafficSpec -> replayer.
+
+    ``duration`` defaults to the run's simulated cycles (the trace covers
+    exactly the measured window) unless the params override it.
+    """
+    params = dict(spec.workload_params)
+    duration = int(params.pop("duration", default_duration or 2000))
+    trace = workload_trace(
+        spec.workload, n_cores, duration=duration, seed=spec.seed,
+        rate=spec.rate, params=params,
+    )
+    return TraceTraffic(trace, n_cores=n_cores, stop_cycle=stop_cycle)

@@ -42,6 +42,22 @@ class TestSpecValidation:
         with pytest.raises(ValueError):
             FaultSpec(kind="gremlins")
 
+    def test_workload_kind_needs_name(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="workload")
+
+    def test_workload_name_needs_kind(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="synthetic", workload="coherence")
+
+    def test_workload_params_frozen_and_order_free(self):
+        a = TrafficSpec(kind="workload", workload="coherence",
+                        workload_params=(("b", 2), ("a", 1)))
+        b = TrafficSpec(kind="workload", workload="coherence",
+                        workload_params=(("a", 1), ("b", 2)))
+        assert a == b
+        hash(a)
+
 
 class TestDigest:
     def make(self, **over):
@@ -70,6 +86,18 @@ class TestDigest:
         assert self.make(faults=FaultSpec()).digest() != base
         assert self.make(power=((4, 1),)).digest() != base
         assert self.make(telemetry=True).digest() != base
+
+    def test_workload_fields_change_digest_and_round_trip(self):
+        base = self.make(traffic_kind="workload", workload="coherence")
+        assert base.digest() != self.make().digest()
+        tweaked = self.make(
+            traffic_kind="workload", workload="coherence",
+            workload_params={"miss_rate": 0.02},
+        )
+        assert tweaked.digest() != base.digest()
+        back = RunSpec.from_dict(tweaked.to_dict())
+        assert back == tweaked and back.digest() == tweaked.digest()
+        assert back.traffic.workload == "coherence"
 
     def test_telemetry_round_trips(self):
         spec = self.make(telemetry=True)
@@ -107,6 +135,17 @@ class TestDigest:
             "noc/simulator.py",
             "noc/arbiters.py",
             "runtime/spec.py",
+            # Workload traces are generated *inside* the run from the spec,
+            # so editing a generator must invalidate cached workload runs.
+            "traffic/trace.py",
+            "traffic/bursty.py",
+            "workloads/base.py",
+            "workloads/microservice.py",
+            "workloads/collectives.py",
+            "workloads/coherence.py",
+            "workloads/blends.py",
+            "workloads/registry.py",
+            "workloads/scenarios.py",
         ):
             assert mod in files, f"{mod} not covered by code_fingerprint()"
         assert all(f.endswith(".py") for f in files)

@@ -253,3 +253,56 @@ class TestCacheCounters:
         assert main(args) == 0
         second = capsys.readouterr().err
         assert "[2 hits / 0 misses]" in second
+
+
+class TestScenariosCommand:
+    def test_list_prints_cells_and_digests(self, capsys):
+        assert main(["scenarios", "list", "--only", "coherence,own256"]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l.strip()]
+        assert len(lines) == 4  # {clean,bursts} x {ideal,conservative}
+        assert all(l.startswith("coherence/own256/") for l in lines)
+        assert "4 cells" in captured.err
+
+    def test_bad_filter_is_error(self, capsys):
+        assert main(["scenarios", "list", "--only", "sorting-network"]) == 2
+        assert "no scenario cells match" in capsys.readouterr().err
+
+    def test_run_writes_records_and_report(self, tmp_path, capsys):
+        import json
+
+        runlog = tmp_path / "scn.jsonl"
+        report = tmp_path / "report.json"
+        rc = main([
+            "scenarios", "run", "--only", "coherence,own256,clean",
+            "--cycles", "200", "--warmup", "50",
+            "--runlog", str(runlog), "--report", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix (2 cells)" in out
+        records = [json.loads(l) for l in runlog.read_text().splitlines()]
+        assert len(records) == 2
+        for record in records:
+            assert record["scenario"]["workload"] == "coherence"
+            assert record["verdict"]
+            assert "summary" in record
+        payload = json.loads(report.read_text())
+        assert payload["n_cells"] == 2
+        assert sum(payload["verdict_histogram"].values()) == 2
+
+    def test_replay_renders_runlog(self, tmp_path, capsys):
+        runlog = tmp_path / "scn.jsonl"
+        assert main([
+            "scenarios", "run", "--only", "coherence,own256,clean,ideal",
+            "--cycles", "200", "--warmup", "50", "--runlog", str(runlog),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "replay", str(runlog)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario run log (1 cells)" in out
+        assert "coherence" in out
+
+    def test_replay_needs_path(self, capsys):
+        assert main(["scenarios", "replay"]) == 2
+        assert "needs a run-log path" in capsys.readouterr().err

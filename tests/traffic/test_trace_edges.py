@@ -1,0 +1,109 @@
+"""Trace replay edge cases: empty, single-packet, clipped, invalid."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.trace import TraceTraffic, TrafficTrace
+
+
+def make_trace(rows):
+    cols = list(zip(*rows)) if rows else [[], [], [], []]
+    return TrafficTrace(*(np.asarray(c, dtype=np.int64) for c in cols))
+
+
+class TestEmptyTrace:
+    def test_replays_to_nothing(self):
+        t = TraceTraffic(make_trace([]), n_cores=16)
+        assert t.tick(0) == [] and t.tick(100) == []
+        assert t.exhausted
+        assert t.packets_generated == 0
+
+    def test_validate_accepts_empty(self):
+        make_trace([]).validate(1)
+
+    def test_no_next_injection(self):
+        t = TraceTraffic(make_trace([]))
+        assert t.next_injection_cycle(0, 1000) is None
+
+
+class TestSinglePacket:
+    def test_delivered_exactly_once(self):
+        t = TraceTraffic(make_trace([(5, 0, 1, 4)]), n_cores=16)
+        assert t.next_injection_cycle(0, 100) == 5
+        assert t.tick(4) == []
+        [p] = t.tick(5)
+        assert (p.src_core, p.dst_core, p.size_flits) == (0, 1, 4)
+        assert t.tick(5) == [] and t.tick(6) == []
+        assert t.exhausted
+
+    def test_skipped_if_simulation_starts_past_it(self):
+        t = TraceTraffic(make_trace([(5, 0, 1, 4)]), n_cores=16)
+        assert t.tick(6) == []
+        assert t.exhausted
+
+
+class TestStopCycle:
+    def test_trace_ending_mid_warmup_is_cut(self):
+        # A trace shorter than the warmup window plus a stop_cycle inside
+        # it: injections at/after the stop are suppressed, like the drain
+        # phase of a latency measurement.
+        rows = [(t, 0, 1, 1) for t in range(10)]
+        t = TraceTraffic(make_trace(rows), n_cores=4, stop_cycle=6)
+        emitted = [p for now in range(12) for p in t.tick(now)]
+        assert len(emitted) == 6  # cycles 0..5 only
+        assert t.next_injection_cycle(0, 100) is None  # clamped by stop
+
+    def test_next_injection_respects_window(self):
+        t = TraceTraffic(make_trace([(3, 0, 1, 1), (9, 1, 0, 1)]), n_cores=4)
+        assert t.next_injection_cycle(0, 3) is None  # [0, 3) excludes 3
+        assert t.next_injection_cycle(0, 4) == 3
+        assert t.next_injection_cycle(4, 100) == 9
+        assert t.next_injection_cycle(10, 100) is None
+
+
+class TestValidation:
+    def test_out_of_range_destination_clear_error(self):
+        trace = make_trace([(0, 0, 99, 1)])
+        with pytest.raises(ValueError, match=r"dst 99 .* 16 cores"):
+            trace.validate(16)
+        with pytest.raises(ValueError, match="dst 99"):
+            TraceTraffic(trace, n_cores=16)
+
+    def test_out_of_range_source(self):
+        with pytest.raises(ValueError, match="src -1"):
+            make_trace([(0, -1, 1, 1)]).validate(16)
+
+    def test_negative_cycle_and_bad_size(self):
+        with pytest.raises(ValueError, match="negative cycle"):
+            make_trace([(-2, 0, 1, 1)]).validate(16)
+        with pytest.raises(ValueError, match="non-positive size"):
+            make_trace([(0, 0, 1, 0)]).validate(16)
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TrafficTrace(
+                np.zeros(2, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64),
+            )
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "notatrace.npz"
+        np.savez(path, cycles=np.zeros(1, dtype=np.int64))
+        with pytest.raises(ValueError, match="missing"):
+            TrafficTrace.load(path)
+
+
+class TestOrdering:
+    def test_stable_sort_preserves_intra_cycle_order(self):
+        rows = [(7, 3, 4, 1), (2, 0, 1, 1), (7, 1, 2, 1), (2, 5, 6, 1)]
+        trace = make_trace(rows)
+        assert trace.cycles.tolist() == [2, 2, 7, 7]
+        assert trace.srcs.tolist() == [0, 5, 3, 1]  # emission order kept
+
+    def test_roundtrip_npz(self, tmp_path):
+        trace = make_trace([(2, 0, 1, 3), (5, 1, 0, 2)])
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        back = TrafficTrace.load(path)
+        assert back.content_crc() == trace.content_crc()
+        assert back.schema() == trace.schema()

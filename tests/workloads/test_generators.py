@@ -1,0 +1,226 @@
+"""Structural unit tests for each application-model generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    COLLECTIVE_KINDS,
+    BlendWorkload,
+    CoherenceWorkload,
+    CollectiveWorkload,
+    MicroserviceWorkload,
+    make_workload,
+    merge_traces,
+    workload_names,
+    workload_trace,
+)
+
+N_CORES = 64
+
+
+class TestMicroservice:
+    def make(self, **over):
+        kwargs = dict(duration=600, seed=3, request_rate=0.05)
+        kwargs.update(over)
+        return MicroserviceWorkload(**kwargs)
+
+    def test_trace_validates_and_is_nonempty(self):
+        trace = self.make().trace(N_CORES)
+        assert len(trace) > 0
+        trace.validate(N_CORES)
+
+    def test_graph_is_acyclic_and_rooted_at_gateway(self):
+        wl = self.make()
+        graph = wl.service_graph()
+        layer = [0] + [1 + (s - 1) % (wl.depth - 1) for s in range(1, wl.n_services)]
+        assert graph[0], "gateway must call at least one downstream service"
+        for s, callees in graph.items():
+            for c in callees:
+                assert layer[c] > layer[s], "edges must point to deeper layers"
+
+    def test_requests_precede_their_responses(self):
+        # Every (small) request packet src->dst must be matched by a later
+        # (large) response packet dst->src: scatter-gather RPC semantics.
+        wl = self.make(duration=2000)
+        trace = wl.trace(N_CORES)
+        req = trace.sizes == wl.request_size
+        resp = trace.sizes == wl.response_size
+        assert req.sum() > 0 and resp.sum() > 0
+        # Responses mirror requests pairwise (same unordered core pairs).
+        req_pairs = sorted(zip(trace.srcs[req].tolist(), trace.dsts[req].tolist()))
+        resp_pairs = sorted(zip(trace.dsts[resp].tolist(), trace.srcs[resp].tolist()))
+        # Horizon clipping can cut trailing responses, never add them.
+        assert len(resp_pairs) <= len(req_pairs)
+
+    def test_replica_placement_shape(self):
+        wl = self.make(n_services=6, replicas=3)
+        cores = wl.placement(N_CORES)
+        assert cores.shape == (6, 3)
+        assert ((cores >= 0) & (cores < N_CORES)).all()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(fanout=0.5)
+        with pytest.raises(ValueError):
+            self.make(n_services=2, depth=5)
+        with pytest.raises(ValueError):
+            self.make(request_rate=1.5)
+
+
+class TestCollective:
+    @pytest.mark.parametrize("kind", COLLECTIVE_KINDS)
+    def test_each_kind_emits_valid_trace(self, kind):
+        trace = CollectiveWorkload(
+            duration=800, seed=2, kind=kind, iterations=3
+        ).trace(N_CORES)
+        assert len(trace) > 0
+        trace.validate(N_CORES)
+
+    def test_ring_step_count(self):
+        # 2*(P-1) steps of P transfers each, no skew, one iteration.
+        p = 8
+        wl = CollectiveWorkload(
+            duration=10_000, seed=1, kind="allreduce_ring", participants=p,
+            iterations=1, skew_max=0,
+        )
+        trace = wl.trace(N_CORES)
+        assert len(trace) == 2 * (p - 1) * p
+
+    def test_tree_reduces_to_root_then_broadcasts(self):
+        p = 8
+        wl = CollectiveWorkload(
+            duration=10_000, seed=1, kind="allreduce_tree", participants=p,
+            iterations=1, skew_max=0,
+        )
+        trace = wl.trace(N_CORES)
+        # Reduce + broadcast are mirror images: every (src, dst) transfer
+        # appears with its reverse.
+        pairs = sorted(zip(trace.srcs.tolist(), trace.dsts.tolist()))
+        mirrored = sorted(zip(trace.dsts.tolist(), trace.srcs.tolist()))
+        assert pairs == mirrored
+        assert len(trace) == 2 * (p - 1)  # p-1 reduce edges + p-1 bcast edges
+
+    def test_stencil_neighbour_degree(self):
+        p = 27  # 3x3x3 grid: every rank has exactly 6 distinct neighbours
+        wl = CollectiveWorkload(
+            duration=10_000, seed=1, kind="stencil3d", participants=p,
+            iterations=1, skew_max=0,
+        )
+        trace = wl.trace(N_CORES)
+        srcs = trace.srcs
+        counts = {int(s): 0 for s in set(srcs.tolist())}
+        for s in srcs.tolist():
+            counts[int(s)] += 1
+        assert set(counts.values()) == {6}
+
+    def test_bad_kind_and_participants(self):
+        with pytest.raises(ValueError):
+            CollectiveWorkload(kind="allgather")
+        with pytest.raises(ValueError):
+            CollectiveWorkload(participants=1).trace(N_CORES)
+        with pytest.raises(ValueError):
+            CollectiveWorkload(participants=N_CORES + 1).trace(N_CORES)
+
+
+class TestCoherence:
+    def test_requests_get_line_replies(self):
+        wl = CoherenceWorkload(duration=800, seed=4, miss_rate=0.02, n_homes=8)
+        trace = wl.trace(N_CORES)
+        n_req = int((trace.sizes == wl.req_size).sum())
+        n_reply = int((trace.sizes == wl.line_size).sum())
+        assert n_req > 0
+        # Every miss produces exactly one request and one data reply
+        # (inv/ack packets share inv_size=req_size=1 by default, so compare
+        # with distinct sizes).
+        wl2 = CoherenceWorkload(
+            duration=800, seed=4, miss_rate=0.02, n_homes=8,
+            req_size=2, inv_size=3, line_size=5,
+        )
+        t2 = wl2.trace(N_CORES)
+        reqs = int((t2.sizes == 2).sum())
+        replies = int((t2.sizes == 5).sum())
+        assert reqs == replies or replies == reqs - _clipped_tail(t2, wl2)
+        assert n_reply <= n_req
+
+    def test_requests_target_home_nodes_only(self):
+        wl = CoherenceWorkload(
+            duration=500, seed=9, miss_rate=0.02, n_homes=8,
+            req_size=2, inv_size=3, line_size=5,
+        )
+        trace = wl.trace(N_CORES)
+        req_dsts = set(trace.dsts[trace.sizes == 2].tolist())
+        reply_srcs = set(trace.srcs[trace.sizes == 5].tolist())
+        assert len(req_dsts) <= 8
+        assert reply_srcs <= req_dsts
+
+    def test_working_set_bounds(self):
+        with pytest.raises(ValueError):
+            CoherenceWorkload(working_set=20, n_homes=16)
+        with pytest.raises(ValueError):
+            CoherenceWorkload(n_homes=128).trace(64)
+
+
+def _clipped_tail(trace, wl) -> int:
+    """Replies scheduled past the horizon are dropped; count such misses."""
+    cutoff = wl.duration - wl.hop_cycles - wl.directory_latency
+    return int((trace.cycles[trace.sizes == wl.req_size] >= cutoff).sum())
+
+
+class TestBlends:
+    def test_merge_preserves_packets_and_sorts(self):
+        a = CoherenceWorkload(duration=300, seed=1).trace(N_CORES)
+        b = CollectiveWorkload(duration=300, seed=2, iterations=2).trace(N_CORES)
+        merged = merge_traces([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert (np.diff(merged.cycles) >= 0).all()
+
+    def test_blend_clips_to_horizon(self):
+        blend = BlendWorkload(
+            [CollectiveWorkload(duration=2000, seed=2, iterations=10)],
+            duration=400, seed=1,
+        )
+        trace = blend.trace(N_CORES)
+        assert len(trace) > 0
+        assert int(trace.cycles.max()) < 400
+
+    def test_adversarial_background_targets_hot_cores(self):
+        fg = CoherenceWorkload(duration=600, seed=3, miss_rate=0.02, n_homes=4)
+        blend = BlendWorkload(
+            [fg], duration=600, seed=5, background_rate=0.02,
+            adversarial=True, n_hotspots=4,
+        )
+        hot = blend.hot_destinations(fg.trace(N_CORES), 4)
+        assert 1 <= len(hot) <= 4
+        trace = blend.trace(N_CORES)
+        # The background skews flits toward the hot set beyond the
+        # foreground's own share.
+        flits_at_hot = int(trace.sizes[np.isin(trace.dsts, hot)].sum())
+        assert flits_at_hot > 0
+
+    def test_empty_blend_rejected(self):
+        with pytest.raises(ValueError):
+            BlendWorkload([])
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        assert workload_names() == (
+            "adversarial", "coherence", "collective", "microservice", "mixed",
+        )
+
+    @pytest.mark.parametrize("name", sorted(workload_names()))
+    def test_every_entry_builds_and_traces(self, name):
+        trace = workload_trace(name, N_CORES, duration=400, seed=2)
+        assert len(trace) > 0
+        trace.validate(N_CORES)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="coherence"):
+            make_workload("sorting-network")
+
+    def test_rate_maps_to_intensity(self):
+        lo = workload_trace("coherence", N_CORES, duration=400, seed=2, rate=0.005)
+        hi = workload_trace("coherence", N_CORES, duration=400, seed=2, rate=0.05)
+        assert len(hi) > len(lo)

@@ -1,0 +1,64 @@
+"""Golden-trace gate: generator output is pinned exactly.
+
+``results/golden/workloads/`` holds one small committed ``.npz`` per
+generator family plus a manifest of schemas and content CRCs. Any edit
+that changes what a generator emits -- even reordering two packets in
+one cycle -- fails here and forces a deliberate fixture regeneration
+(see the manifest's parameters; regenerate with the same ones).
+
+The comparison is array-content CRC plus element-wise equality, not a
+byte-compare of the archives, so a numpy upgrade that changes zip
+framing cannot break CI while a changed packet always does.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.traffic.trace import TRACE_FIELDS, TrafficTrace
+from repro.workloads import GENERATOR_FAMILIES, workload_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parents[2] / "results" / "golden" / "workloads"
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    with open(GOLDEN_DIR / "manifest.json") as fh:
+        return json.load(fh)
+
+
+def test_manifest_covers_every_family(manifest):
+    assert sorted(manifest["traces"]) == sorted(GENERATOR_FAMILIES)
+
+
+@pytest.mark.parametrize("name", GENERATOR_FAMILIES)
+def test_fixture_matches_manifest(name, manifest):
+    entry = manifest["traces"][name]
+    trace = TrafficTrace.load(GOLDEN_DIR / entry["file"])
+    assert trace.schema() == entry["schema"]
+    assert trace.content_crc() == entry["content_crc"]
+
+
+@pytest.mark.parametrize("name", GENERATOR_FAMILIES)
+def test_regenerated_trace_is_bit_identical_to_golden(name, manifest):
+    entry = manifest["traces"][name]
+    golden = TrafficTrace.load(GOLDEN_DIR / entry["file"])
+    fresh = workload_trace(
+        name, manifest["n_cores"], duration=manifest["duration"],
+        seed=manifest["seed"],
+    )
+    assert fresh.schema() == golden.schema()
+    assert fresh.content_crc() == golden.content_crc()
+    for field in TRACE_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(fresh, field), getattr(golden, field),
+            err_msg=f"{name}.{field} drifted from the committed golden trace",
+        )
+
+
+def test_schema_fields_are_the_committed_set():
+    # Renaming/adding a trace field invalidates every committed fixture:
+    # make it a visible, deliberate change here and in the manifest.
+    assert TRACE_FIELDS == ("cycles", "srcs", "dsts", "sizes")

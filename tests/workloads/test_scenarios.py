@@ -1,0 +1,87 @@
+"""Scenario-matrix registry: every cell resolves to a valid frozen spec."""
+
+import pytest
+
+from repro.runtime import RunSpec
+from repro.workloads import (
+    GENERATOR_FAMILIES,
+    SCENARIO_FAULTS,
+    SCENARIO_TOPOLOGIES,
+    SCENARIO_WIRELESS,
+    SCENARIO_WORKLOADS,
+    cell_spec,
+    filter_cells,
+    scenario_matrix,
+)
+
+
+class TestMatrix:
+    def test_full_matrix_size_meets_acceptance_floor(self):
+        cells = scenario_matrix()
+        # The acceptance bar: at least {3 workloads} x {2 topologies} x
+        # {2 fault campaigns} x {2 wireless scenarios}.
+        assert len(SCENARIO_WORKLOADS) >= 3
+        assert len(SCENARIO_TOPOLOGIES) >= 2
+        assert len(SCENARIO_FAULTS) >= 2
+        assert len(SCENARIO_WIRELESS) >= 2
+        assert len(cells) == (
+            len(SCENARIO_WORKLOADS) * len(SCENARIO_TOPOLOGIES)
+            * len(SCENARIO_FAULTS) * len(SCENARIO_WIRELESS)
+        )
+        assert set(GENERATOR_FAMILIES) <= set(SCENARIO_WORKLOADS)
+
+    def test_every_cell_resolves_to_frozen_digestible_spec(self):
+        digests = set()
+        keys = set()
+        for cell in scenario_matrix(cycles=200, warmup=50):
+            spec = cell.spec
+            assert isinstance(spec, RunSpec)
+            assert spec.traffic.kind == "workload"
+            assert spec.traffic.workload == cell.workload
+            assert spec.telemetry is True
+            assert spec.tag == cell.key
+            hash(spec)  # frozen
+            # Round-trips through the cache/worker serialisation path.
+            assert RunSpec.from_dict(spec.to_dict()) == spec
+            digests.add(spec.digest())
+            keys.add(cell.key)
+        n = len(scenario_matrix(cycles=200, warmup=50))
+        assert len(digests) == n, "every cell must have a distinct digest"
+        assert len(keys) == n
+
+    def test_axes_fold_into_digest(self):
+        base = cell_spec("coherence", "own256", "clean", "ideal").digest()
+        assert cell_spec("coherence", "own256", "bursts", "ideal").digest() != base
+        assert cell_spec("coherence", "own256", "clean", "conservative").digest() != base
+        assert cell_spec("coherence", "own1024", "clean", "ideal").digest() != base
+        assert cell_spec("collective", "own256", "clean", "ideal").digest() != base
+
+    def test_wireless_axis_is_power_scenario(self):
+        ideal = cell_spec("coherence", "own256", "clean", "ideal")
+        conservative = cell_spec("coherence", "own256", "clean", "conservative")
+        assert ideal.power == ((4, 1),)
+        assert conservative.power == ((4, 2),)
+
+    def test_unknown_coordinates_rejected(self):
+        with pytest.raises(KeyError):
+            cell_spec("sorting-network", "own256", "clean", "ideal")
+        with pytest.raises(KeyError):
+            cell_spec("coherence", "torus", "clean", "ideal")
+        with pytest.raises(KeyError):
+            cell_spec("coherence", "own256", "meteor-strike", "ideal")
+
+
+class TestFilter:
+    def test_conjunctive_terms(self):
+        cells = scenario_matrix(cycles=200, warmup=50)
+        only = filter_cells(cells, "coherence,own256,ideal")
+        assert len(only) == len(SCENARIO_FAULTS)
+        assert all(
+            c.workload == "coherence" and c.topology == "own256"
+            and c.wireless == "ideal"
+            for c in only
+        )
+
+    def test_empty_expr_keeps_all(self):
+        cells = scenario_matrix(cycles=200, warmup=50)
+        assert filter_cells(cells, "") == cells
