@@ -49,11 +49,58 @@ from repro.analysis import (
     load_sweep,
     measure_bisection,
 )
+from repro.obs import (
+    DEFAULT_SAMPLE_EVERY,
+    DEFAULT_STALL_AFTER_S,
+    configure_logging,
+    get_logger,
+)
 from repro.runtime import DEFAULT_CACHE_DIR, Executor, NAMED_TOPOLOGIES, build_ref
 
 TOPOLOGIES: Dict[str, Callable] = {
     name: (lambda ref=ref: build_ref(ref)) for name, ref in NAMED_TOPOLOGIES.items()
 }
+
+#: CLI-layer structured logger; diagnostic lines that used to be bare
+#: ``print(..., file=sys.stderr)`` calls flow through here (identical
+#: human rendering; ``--log-json`` / ``REPRO_LOG=json`` switches the
+#: whole tree to JSON lines). Human-facing result tables stay on stdout.
+log = get_logger("repro.cli")
+
+
+def add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Live-observability flags shared by simulation-driving commands."""
+    parser.add_argument(
+        "--live", action="store_true",
+        help="render an in-place per-run progress table on stderr while "
+             "simulations are in flight",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="structured JSON-lines logging on stderr (one object per "
+             "diagnostic, with correlation fields; see also REPRO_LOG)",
+    )
+    parser.add_argument(
+        "--status-json", default=None, metavar="PATH",
+        help="rewrite a JSON status document at PATH on every observation "
+             "event (atomic; the payload a live dashboard would poll)",
+    )
+    parser.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="rewrite an OpenMetrics/Prometheus textfile snapshot at PATH "
+             "on every observation event (node-exporter textfile collector)",
+    )
+    parser.add_argument(
+        "--heartbeat-cycles", type=int, default=None, metavar="N",
+        help="in-flight heartbeat stride in simulated cycles "
+             f"(default: {DEFAULT_SAMPLE_EVERY})",
+    )
+    parser.add_argument(
+        "--stall-after", type=float, default=None, metavar="SEC",
+        help="warn (naming the spec) when an in-flight run goes SEC "
+             "wall-seconds without a heartbeat "
+             f"(default: {DEFAULT_STALL_AFTER_S:g}; 0 disables)",
+    )
 
 
 def add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -84,12 +131,52 @@ def add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-out", default="traces", metavar="DIR",
         help="directory for Chrome trace files (default: traces/)",
     )
+    add_obs_flags(parser)
+
+
+def observation_from_args(args: argparse.Namespace):
+    """Build an :class:`repro.obs.ObservationHub` from CLI flags.
+
+    Returns ``None`` when no observability flag is set -- the engine then
+    runs entirely unobserved (zero overhead, not even a hub object).
+    """
+    wants = (
+        args.live
+        or args.status_json is not None
+        or args.openmetrics is not None
+        or args.heartbeat_cycles is not None
+    )
+    if not wants:
+        return None
+    from repro.obs import (
+        LiveView,
+        ObservationHub,
+        OpenMetricsExporter,
+        StatusExporter,
+    )
+
+    exporters = []
+    if args.openmetrics is not None:
+        exporters.append(OpenMetricsExporter(args.openmetrics))
+    if args.status_json is not None:
+        exporters.append(StatusExporter(args.status_json))
+    return ObservationHub(
+        sample_every=args.heartbeat_cycles or DEFAULT_SAMPLE_EVERY,
+        stall_after_s=(
+            DEFAULT_STALL_AFTER_S if args.stall_after is None
+            else args.stall_after
+        ),
+        live=LiveView() if args.live else None,
+        exporters=exporters,
+    )
 
 
 def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
     """Build an engine executor from CLI flags (``None`` if all defaults)."""
+    hub = observation_from_args(args)
     if (
-        args.jobs == 1
+        hub is None
+        and args.jobs == 1
         and args.cache is None
         and args.runlog is None
         and not args.metrics
@@ -97,9 +184,23 @@ def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
     ):
         return None
 
+    live = args.live
+
     def _progress(done: int, total: int, result) -> None:
+        if live:
+            return  # the --live table already shows per-run completion
         tag = "cache" if result.cache_hit else f"{result.wall_s:.1f}s"
-        print(f"  [{done}/{total}] {result.spec.label()} ({tag})", file=sys.stderr)
+        log.info(
+            f"  [{done}/{total}] {result.spec.label()} ({tag})",
+            extra={
+                "run": result.digest[:12],
+                "label": result.spec.label(),
+                "tag": result.spec.tag,
+                "phase": "finished",
+                "cache_hit": result.cache_hit,
+                "wall_s": round(result.wall_s, 4),
+            },
+        )
 
     return Executor(
         jobs=args.jobs,
@@ -108,6 +209,7 @@ def executor_from_args(args: argparse.Namespace) -> Optional[Executor]:
         progress=_progress,
         telemetry=args.metrics,
         trace_dir=args.trace_out if args.trace else None,
+        observe=hub,
     )
 
 
@@ -119,21 +221,35 @@ def report_engine_stats(executor: Optional[Executor]) -> None:
         f"engine: {stats['runs_executed']} simulated, "
         f"{stats['runs_from_cache']} from cache"
     )
-    if executor.cache is not None:
-        cache = executor.cache
+    extra: Dict[str, object] = {
+        "runs_executed": stats["runs_executed"],
+        "runs_from_cache": stats["runs_from_cache"],
+    }
+    cache = executor.cache
+    if cache is not None and (cache.hits + cache.misses) > 0:
+        # The hit-rate clause only renders once the cache has actually
+        # been consulted; with zero lookups there is no rate to report.
         line += (
             f" (hit rate {cache.hit_rate:.0%})"
             f" [{cache.hits} hits / {cache.misses} misses]"
         )
-    print(line, file=sys.stderr)
+        extra.update(
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_hit_rate=round(cache.hit_rate, 4),
+        )
+    log.info(line, extra=extra)
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     wanted = [w for w in args.only.split(",") if w] or list(EXPERIMENTS)
     unknown = set(wanted) - set(EXPERIMENTS)
     if unknown:
-        print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
-        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        log.error(
+            f"unknown experiments: {sorted(unknown)}",
+            extra={"unknown": sorted(unknown)},
+        )
+        log.info(f"known: {sorted(EXPERIMENTS)}")
         return 2
     executor = executor_from_args(args)
     for key in wanted:
@@ -225,7 +341,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     try:
         text = generate_report(only=only, quick=not args.full)
     except KeyError as exc:
-        print(exc, file=sys.stderr)
+        log.error(str(exc))
         return 2
     with open(args.output, "w") as fh:
         fh.write(text)
@@ -252,12 +368,12 @@ def _report_analyze(args: argparse.Namespace) -> int:
         topology_kwargs=kwargs,
     )
     for p in diag.points:
-        print(
+        log.info(
             f"  rate {p.rate:g}: latency {p.latency:.1f} cyc, "
             f"verdict {p.verdict} ({p.attribution.verdict_share:.0%})"
             if p.attribution
             else f"  rate {p.rate:g}: no packet breakdown",
-            file=sys.stderr,
+            extra={"rate": p.rate, "verdict": p.verdict},
         )
     flip = diag.verdict_flip()
     if flip:
@@ -288,7 +404,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         diff = diff_runlogs(args.runlog_a, args.runlog_b,
                             rel_threshold=args.threshold)
     except OSError as exc:
-        print(exc, file=sys.stderr)
+        log.error(str(exc))
         return 2
     print(format_diff(diff))
     if args.json:
@@ -299,10 +415,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(json_safe(diff.to_json_dict()), fh, indent=1,
                       allow_nan=False)
-        print(f"wrote {args.json}", file=sys.stderr)
+        log.info(f"wrote {args.json}")
     if not diff.matched and not args.allow_unmatched:
-        print("error: no comparable run points (use --allow-unmatched "
-              "to tolerate)", file=sys.stderr)
+        log.error(
+            "no comparable run points (use --allow-unmatched to tolerate)"
+        )
         return 2
     return 0 if diff.clean else 1
 
@@ -328,20 +445,36 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     if args.only:
         cells = filter_cells(cells, args.only)
     if not cells:
-        print(f"no scenario cells match --only {args.only!r}", file=sys.stderr)
+        log.error(f"no scenario cells match --only {args.only!r}")
         return 2
 
     if args.action == "list":
         for cell in cells:
             print(f"{cell.key:48s} {cell.spec.digest()[:12]}")
-        print(f"{len(cells)} cells", file=sys.stderr)
+        log.info(f"{len(cells)} cells")
         return 0
 
-    def _progress(done: int, total: int, result) -> None:
-        tag = "cache" if result.cache_hit else f"{result.wall_s:.1f}s"
-        print(f"  [{done}/{total}] {result.spec.tag} ({tag})", file=sys.stderr)
+    live = args.live
 
-    executor = Executor(jobs=args.jobs, cache=args.cache, progress=_progress)
+    def _progress(done: int, total: int, result) -> None:
+        if live:
+            return  # the --live table already shows per-run completion
+        tag = "cache" if result.cache_hit else f"{result.wall_s:.1f}s"
+        log.info(
+            f"  [{done}/{total}] {result.spec.tag} ({tag})",
+            extra={
+                "run": result.digest[:12],
+                "tag": result.spec.tag,
+                "phase": "finished",
+                "cache_hit": result.cache_hit,
+                "wall_s": round(result.wall_s, 4),
+            },
+        )
+
+    executor = Executor(
+        jobs=args.jobs, cache=args.cache, progress=_progress,
+        observe=observation_from_args(args),
+    )
     outcomes = run_scenarios(cells, executor, runlog=args.runlog)
     print(render_scenarios(outcomes, title=f"Scenario matrix ({len(cells)} cells)"))
     if args.report:
@@ -349,7 +482,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
         with open(args.report, "w") as fh:
             json.dump(json_safe(attribution_report(outcomes)), fh, indent=1)
-        print(f"wrote {args.report}", file=sys.stderr)
+        log.info(f"wrote {args.report}")
     report_engine_stats(executor)
     return 0
 
@@ -362,7 +495,7 @@ def _scenarios_replay(args: argparse.Namespace) -> int:
     from repro.workloads import SCENARIO_HEADERS
 
     if not args.runlog_path:
-        print("scenarios replay needs a run-log path", file=sys.stderr)
+        log.error("scenarios replay needs a run-log path")
         return 2
     rows = []
     try:
@@ -392,10 +525,10 @@ def _scenarios_replay(args: argparse.Namespace) -> int:
                     record.get("verdict", "?"),
                 ])
     except OSError as exc:
-        print(exc, file=sys.stderr)
+        log.error(str(exc))
         return 2
     if not rows:
-        print(f"no scenario records in {args.runlog_path}", file=sys.stderr)
+        log.error(f"no scenario records in {args.runlog_path}")
         return 2
     print(format_table(SCENARIO_HEADERS, rows,
                        title=f"Scenario run log ({len(rows)} cells)"))
@@ -515,12 +648,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="PATH",
         help="write the per-cell attribution report as JSON to PATH",
     )
+    add_obs_flags(p_scn)
     p_scn.set_defaults(fn=cmd_scenarios)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # --log-json upgrades the whole repro logging tree to JSON lines;
+    # commands without observability flags keep the (env-driven) default.
+    if getattr(args, "log_json", False):
+        configure_logging(json_mode=True)
+    else:
+        configure_logging()
     return args.fn(args)
 
 

@@ -92,6 +92,15 @@ class Simulator:
         events and per-component metrics. ``None`` (or a tracer with
         ``enabled=False``) keeps every hot path telemetry-free beyond a
         single ``is not None`` check per site.
+    observer:
+        Optional :class:`repro.obs.RunObserver` emitting in-flight
+        progress heartbeats (cycle, packets injected/ejected, active-set
+        size, ETA) onto an observation event bus. Same zero-overhead
+        discipline as the tracer -- one ``is not None`` check per stepped
+        cycle -- and strictly read-only: observed runs are bit-identical
+        to unobserved ones. The observer is *not* a fast-forward wake
+        source; its stride samples on the next stepped cycle at or past
+        the due point.
     dense:
         ``True`` disables the idle-stretch fast-forward in :meth:`run` /
         :meth:`drain` and steps every cycle densely. Phase execution is
@@ -110,6 +119,7 @@ class Simulator:
         faults: Optional[object] = None,
         tracer: Optional[object] = None,
         dense: bool = False,
+        observer: Optional[object] = None,
     ) -> None:
         if credit_latency < 1:
             raise ValueError(f"credit_latency must be >= 1, got {credit_latency}")
@@ -186,6 +196,16 @@ class Simulator:
         )
         if self._tracer is not None:
             self._tracer.bind(self)
+        # Observation sampler (repro.obs): read-only progress heartbeats,
+        # guarded exactly like the tracer -- a disabled observer is
+        # indistinguishable from none.
+        self._observer = (
+            observer
+            if (observer is not None and getattr(observer, "enabled", True))
+            else None
+        )
+        if self._observer is not None:
+            self._observer.bind(self)
         if faults is not None:
             faults.install(self)
 
@@ -431,6 +451,14 @@ class Simulator:
         if tracer is not None and tracer.sample_every:
             if now % tracer.sample_every == 0:
                 tracer.on_cycle_sample(now)
+
+        # Progress heartbeat (repro.obs). `>=` rather than `%` so idle
+        # fast-forward jumps cannot starve the beat: the first stepped
+        # cycle at or past the due point emits. Pure observation --
+        # observed runs are bit-identical to unobserved ones.
+        observer = self._observer
+        if observer is not None and now >= observer.next_cycle:
+            observer.sample(self, now)
 
         # Watchdog: flits buffered but nothing moved for too long -> deadlock.
         # Scheduled events (deliveries in flight on long-latency links,

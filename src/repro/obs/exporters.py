@@ -1,0 +1,173 @@
+"""Snapshot exporters: OpenMetrics textfile + JSON status document.
+
+Both exporters consume the same input -- the hub's *status snapshot*
+(:meth:`repro.obs.hub.ObservationHub.snapshot`) -- and regenerate their
+whole artifact on every bus event. Writes are atomic (temp file +
+rename), so a Prometheus node-exporter textfile collector or a polling
+dashboard never sees a torn file. The JSON status document is exactly
+the payload a future SSE/WebSocket endpoint would push per event, which
+is the point: the service layer only has to stream what the CLI already
+materialises on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+#: Prefix of every exported metric family.
+METRIC_PREFIX = "repro"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _escape_label(value: str) -> str:
+    """OpenMetrics label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+class OpenMetricsExporter:
+    """Prometheus/OpenMetrics textfile snapshot of the run fleet.
+
+    Families (all ``{METRIC_PREFIX}_`` prefixed; see
+    ``docs/observability.md`` for the full catalogue):
+
+    - ``runs`` / ``runs_done`` / ``runs_inflight`` / ``runs_stalled``
+      -- fleet-level gauges;
+    - ``heartbeats_total`` -- events drained so far (counter);
+    - per-run gauges labelled ``{run=..., label=...}``: ``run_cycle``,
+      ``run_target_cycles``, ``run_progress_ratio``,
+      ``run_packets_injected``, ``run_packets_ejected``,
+      ``run_occupancy_flits``, ``run_cycles_per_sec``,
+      ``run_eta_seconds``, ``run_heartbeat_age_seconds``,
+      ``run_stalled``.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.writes = 0
+
+    def update(self, snap: Dict[str, object]) -> None:
+        self.writes += 1
+        _write_atomic(self.path, self.render(snap))
+
+    def render(self, snap: Dict[str, object]) -> str:
+        p = METRIC_PREFIX
+        now = snap.get("ts") or time.time()
+        lines: List[str] = []
+
+        def gauge(name: str, value, labels: str = "") -> None:
+            if not _finite(value):
+                return
+            lines.append(f"{p}_{name}{labels} {value:g}")
+
+        lines.append(f"# TYPE {p}_runs gauge")
+        gauge("runs", snap.get("total", 0))
+        lines.append(f"# TYPE {p}_runs_done gauge")
+        gauge("runs_done", snap.get("done", 0))
+        lines.append(f"# TYPE {p}_runs_inflight gauge")
+        gauge("runs_inflight", snap.get("inflight", 0))
+        lines.append(f"# TYPE {p}_runs_stalled gauge")
+        gauge("runs_stalled", snap.get("stalled", 0))
+        lines.append(f"# TYPE {p}_heartbeats_total counter")
+        gauge("heartbeats_total", snap.get("heartbeats", 0))
+
+        per_run = (
+            ("run_cycle", "cycle"),
+            ("run_target_cycles", "target_cycles"),
+            ("run_progress_ratio", "progress"),
+            ("run_packets_injected", "injected"),
+            ("run_packets_ejected", "ejected"),
+            ("run_occupancy_flits", "occupancy"),
+            ("run_cycles_per_sec", "cycles_per_sec"),
+            ("run_eta_seconds", "eta_s"),
+        )
+        runs: Dict[str, Dict[str, object]] = snap.get("runs") or {}
+        for family, key in per_run:
+            emitted_type = False
+            for rid, st in runs.items():
+                value = st.get(key)
+                if not _finite(value):
+                    continue
+                if not emitted_type:
+                    lines.append(f"# TYPE {p}_{family} gauge")
+                    emitted_type = True
+                labels = (
+                    f'{{run="{_escape_label(rid)}",'
+                    f'label="{_escape_label(st.get("label", ""))}"}}'
+                )
+                gauge(family, value, labels)
+        emitted_type = False
+        for rid, st in runs.items():
+            last = st.get("last_ts")
+            if not _finite(last) or st.get("phase") == "finished":
+                continue
+            if not emitted_type:
+                lines.append(f"# TYPE {p}_run_heartbeat_age_seconds gauge")
+                emitted_type = True
+            labels = (
+                f'{{run="{_escape_label(rid)}",'
+                f'label="{_escape_label(st.get("label", ""))}"}}'
+            )
+            gauge("run_heartbeat_age_seconds", max(0.0, now - last), labels)
+        emitted_type = False
+        for rid, st in runs.items():
+            if not emitted_type:
+                lines.append(f"# TYPE {p}_run_stalled gauge")
+                emitted_type = True
+            labels = (
+                f'{{run="{_escape_label(rid)}",'
+                f'label="{_escape_label(st.get("label", ""))}"}}'
+            )
+            gauge("run_stalled", 1 if st.get("stalled") else 0, labels)
+
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+class StatusExporter:
+    """The live JSON status document (the future SSE payload).
+
+    The file is the hub snapshot verbatim: fleet counters plus the last
+    known state of every run, strict JSON (non-finite floats already
+    scrubbed by the hub).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.writes = 0
+
+    def update(self, snap: Dict[str, object]) -> None:
+        self.writes += 1
+        _write_atomic(
+            self.path,
+            json.dumps(snap, sort_keys=True, default=str, allow_nan=False)
+            + "\n",
+        )

@@ -1,0 +1,181 @@
+"""The in-loop sampling hook: per-run heartbeats from inside the cycle loop.
+
+A :class:`RunObserver` rides on :class:`repro.noc.simulator.Simulator`
+behind the same zero-overhead discipline as the tracer: the step loop
+pays one ``is not None`` check per cycle, and the observer itself is
+**read-only** -- it looks at the clock, the stats counters, the active
+sets and the network occupancy, and never touches simulation state or
+any RNG stream. An observed run is therefore bit-identical to an
+unobserved one by construction (and the test suite locks it).
+
+Sampling is cycle-strided (``every`` cycles) with a ``>=`` threshold
+rather than a modulo, so idle fast-forward jumps cannot starve the
+heartbeat: the first stepped cycle at or past the due point emits.
+The observer is *not* a wake source -- a quiescent network fast-forwards
+exactly as it would unobserved (skips are wall-clock-instant, so no
+heartbeat gap a stall detector would care about can accumulate).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import (
+    HEARTBEAT,
+    RUN_FINISHED,
+    RUN_STARTED,
+    make_event,
+    run_id,
+)
+
+#: Default heartbeat stride in cycles (CLI: ``--heartbeat-cycles``).
+DEFAULT_SAMPLE_EVERY = 1000
+
+
+class RunObserver:
+    """Emits the lifecycle of one executed spec onto an event bus.
+
+    Parameters
+    ----------
+    publish:
+        ``publish(event_dict)`` -- an :class:`~repro.obs.bus.InlineBus`
+        or :class:`~repro.obs.bus.QueueBus` bound method.
+    digest, label, tag:
+        Run identity (correlation fields on every event).
+    every:
+        Heartbeat stride in simulated cycles (>= 1).
+    target_cycles:
+        The run's cycle budget (measurement window + drain budget) used
+        for progress ratios and ETA; ``0`` disables both.
+    min_interval_s:
+        Optional wall-clock floor between heartbeats: a very fine stride
+        on a very fast simulation emits at most one heartbeat per
+        interval. ``0`` (default) emits strictly by stride, which keeps
+        event counts deterministic for tests.
+    """
+
+    #: Simulator treats a falsy observer like ``None`` (tracer parity).
+    enabled = True
+
+    def __init__(
+        self,
+        publish: Callable[[Dict[str, object]], None],
+        digest: str,
+        label: str,
+        tag: str = "",
+        every: int = DEFAULT_SAMPLE_EVERY,
+        target_cycles: int = 0,
+        min_interval_s: float = 0.0,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.publish = publish
+        self.run = run_id(digest)
+        self.label = label
+        self.tag = tag
+        self.every = every
+        self.target_cycles = int(target_cycles)
+        self.min_interval_s = min_interval_s
+        self.worker = os.getpid()
+        #: Next cycle at which :meth:`sample` is due; the simulator's
+        #: guard is ``now >= observer.next_cycle``.
+        self.next_cycle = every
+        self.seq = 0
+        self.heartbeats = 0
+        #: Optional :class:`repro.telemetry.windows.WindowedAggregator`
+        #: whose running snapshot rides along in each heartbeat.
+        self.windows = None
+        self._t0 = time.perf_counter()
+        self._last_emit_wall = 0.0
+        self.sim = None
+
+    # ------------------------------------------------------------------ #
+
+    def bind(self, sim) -> None:
+        """Attach to a simulator (called by ``Simulator.__init__``)."""
+        self.sim = sim
+
+    def _emit(self, kind: str, **data) -> None:
+        self.seq += 1
+        self.publish(
+            make_event(
+                kind,
+                run=self.run,
+                label=self.label,
+                tag=self.tag,
+                worker=self.worker,
+                seq=self.seq,
+                **data,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_run_started(self, spec) -> None:
+        """Announce the run before topology build (phase ``build``)."""
+        self._t0 = time.perf_counter()
+        self._emit(
+            RUN_STARTED,
+            phase="build",
+            topology=spec.topology,
+            pattern=spec.traffic.pattern,
+            rate=spec.traffic.rate,
+            cycles=spec.cycles,
+            target_cycles=self.target_cycles,
+        )
+
+    def sample(self, sim, now: int) -> None:
+        """One heartbeat: in-flight progress, read-only by contract."""
+        self.next_cycle = now + self.every
+        wall = time.perf_counter() - self._t0
+        if self.min_interval_s and (
+            wall - self._last_emit_wall < self.min_interval_s
+        ):
+            return
+        self._last_emit_wall = wall
+        self.heartbeats += 1
+        stats = sim.stats
+        cps = now / wall if wall > 0 else None
+        target = self.target_cycles
+        eta = None
+        if cps and target > now:
+            eta = round((target - now) / cps, 1)
+        # Draining <=> the traffic process is parked on the side.
+        phase = "drain" if sim._paused_traffic is not None else "run"
+        data: Dict[str, object] = {
+            "phase": phase,
+            "cycle": now,
+            "target_cycles": target,
+            "injected": stats.packets_created,
+            "ejected": stats.packets_ejected,
+            "occupancy": sim.network.total_occupancy(),
+            "active_routers": len(sim._active_routers),
+            "active_nis": len(sim._active_nis),
+            "wall_s": round(wall, 3),
+            "cycles_per_sec": round(cps, 1) if cps else None,
+            "eta_s": eta,
+        }
+        if self.windows is not None:
+            data["windows"] = self.windows.snapshot()
+        self._emit(HEARTBEAT, **data)
+
+    def on_run_finished(
+        self,
+        wall_s: float,
+        summary: Optional[Dict[str, object]] = None,
+        cache_hit: bool = False,
+    ) -> None:
+        summary = summary or {}
+        self._emit(
+            RUN_FINISHED,
+            phase="finished",
+            wall_s=round(wall_s, 4),
+            cache_hit=cache_hit,
+            heartbeats=self.heartbeats,
+            latency_mean=summary.get("latency_mean"),
+            throughput=summary.get("throughput"),
+        )

@@ -23,6 +23,7 @@ available to workers.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import re
 import time
@@ -30,13 +31,43 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.bus import BusDrain, install_worker_bus, worker_bus
+from repro.obs.sampler import DEFAULT_SAMPLE_EVERY, RunObserver
 from repro.runtime.cache import ResultCache
 from repro.runtime.records import RunLog, make_record
 from repro.runtime.registry import build_topology
 from repro.runtime.spec import FaultSpec, RunSpec, TrafficSpec
 
-#: Progress callback signature: (completed, total, result).
+#: Progress callback signature: ``(completed, total, result)``.
+#:
+#: **Phase-aware extension.** A callback that also accepts a ``phase``
+#: parameter (or ``**kwargs``) receives in-flight state when the executor
+#: is observing (``observe=``): ``phase="started"`` and
+#: ``phase="heartbeat"`` fire with ``result=None`` (plus the raw
+#: observation event under ``info=`` when the callback also accepts
+#: ``info``); ``phase="finished"`` fires with the result exactly where
+#: the legacy callback would. Legacy three-argument callbacks keep
+#: working unchanged and only see completions.
 ProgressFn = Callable[[int, int, "RunResult"], None]
+
+
+def _progress_accepts(fn: Optional[ProgressFn], name: str) -> bool:
+    """Does ``fn`` accept keyword ``name`` (directly or via ``**kwargs``)?"""
+    if fn is None:
+        return False
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    params = list(sig.parameters.values())
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return True
+    return any(
+        p.name == name
+        and p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        for p in params
+    )
 
 
 @dataclass
@@ -278,7 +309,12 @@ def _power_metrics(built, sim, config_id: int, scenario: int) -> Dict[str, float
     return out
 
 
-def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
+def execute_inline(
+    spec: RunSpec,
+    tracer: Optional[object] = None,
+    publish: Optional[Callable[[Dict[str, object]], None]] = None,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+):
     """Run ``spec`` in-process and return ``(built, sim, result)``.
 
     The escape hatch for experiments that post-process live network
@@ -290,8 +326,24 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
     (the caller keeps the event stream, e.g. for Chrome export). Without
     one, ``spec.telemetry`` spins up a metrics-only tracer whose flat
     dict lands in ``result.metrics``.
+
+    ``publish`` attaches a :class:`repro.obs.RunObserver` emitting
+    ``run_started`` / ``heartbeat`` (every ``sample_every`` cycles) /
+    ``run_finished`` events onto an observation bus. Observation is
+    read-only: the observed run is bit-identical to an unobserved one.
     """
     t0 = time.perf_counter()
+    observer = None
+    if publish is not None:
+        observer = RunObserver(
+            publish,
+            digest=spec.digest(),
+            label=spec.label(),
+            tag=spec.tag,
+            every=sample_every,
+            target_cycles=spec.cycles + max(0, spec.drain),
+        )
+        observer.on_run_started(spec)
     built = build_topology(spec.topology, **dict(spec.topology_kwargs))
     stop = spec.cycles if spec.drain else None
     traffic = _make_traffic(spec.traffic, built.n_cores, stop, cycles=spec.cycles)
@@ -302,6 +354,14 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         from repro.telemetry import Tracer
 
         tracer = Tracer(record_events=False)
+    if observer is not None and tracer is not None and tracer.enabled:
+        # Periodic windowed-telemetry snapshots ride along in heartbeats
+        # whenever the run is traced anyway (sinks see the stream even in
+        # metrics-only mode).
+        from repro.telemetry.windows import WindowedAggregator
+
+        observer.windows = WindowedAggregator()
+        tracer.add_sink(observer.windows)
     from repro.noc.simulator import Simulator
 
     sim = Simulator(
@@ -311,6 +371,7 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         faults=layer,
         tracer=tracer,
         dense=spec.dense,
+        observer=observer,
     )
     for hook in hooks:
         sim.add_hook(hook)
@@ -367,18 +428,35 @@ def execute_inline(spec: RunSpec, tracer: Optional[object] = None):
         profile=profile,
         wall_s=t_end - t0,
     )
+    if observer is not None:
+        observer.on_run_finished(result.wall_s, summary=summary)
     return built, sim, result
 
 
-def run_spec(spec: RunSpec) -> RunResult:
+def run_spec(
+    spec: RunSpec,
+    publish: Optional[Callable[[Dict[str, object]], None]] = None,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+) -> RunResult:
     """Execute one spec in-process and return only its (serialisable) result."""
-    _, _, result = execute_inline(spec)
+    _, _, result = execute_inline(
+        spec, publish=publish, sample_every=sample_every
+    )
     return result
 
 
 def _pool_worker(payload: Dict[str, object]) -> Dict[str, object]:
-    """Worker entry point: spec dict in, result payload out."""
-    result = run_spec(RunSpec.from_dict(payload))
+    """Worker entry point: spec dict in, result payload out.
+
+    When the pool was started with an observation queue (see
+    :func:`repro.obs.bus.install_worker_bus`), lifecycle events stream
+    back to the parent while the run is still in flight.
+    """
+    bus = worker_bus()
+    publish, sample_every = bus if bus is not None else (None, DEFAULT_SAMPLE_EVERY)
+    result = run_spec(
+        RunSpec.from_dict(payload), publish=publish, sample_every=sample_every
+    )
     return result.to_payload()
 
 
@@ -414,6 +492,13 @@ class Executor:
         executed spec (named ``{label}-{digest8}.json``). Implies
         ``telemetry`` and forces in-process execution for traced runs
         (the event stream does not cross process or cache boundaries).
+    observe:
+        Optional :class:`repro.obs.ObservationHub`. Runs then emit
+        ``run_started`` / ``heartbeat`` / ``run_finished`` events -- over
+        the worker queue when ``jobs > 1``, inline otherwise -- feeding
+        the hub's exporters, live view, stall watchdog and any
+        phase-aware ``progress`` callback. Observation is read-only:
+        observed results are bit-identical to unobserved ones.
     """
 
     def __init__(
@@ -424,6 +509,7 @@ class Executor:
         progress: Optional[ProgressFn] = None,
         telemetry: bool = False,
         trace_dir: Optional[Union[str, "Path"]] = None,
+        observe: Optional[object] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -435,10 +521,28 @@ class Executor:
             runlog = RunLog(runlog)
         self.runlog = runlog
         self.progress = progress
+        self._progress_phases = _progress_accepts(progress, "phase")
+        self._progress_info = _progress_accepts(progress, "info")
         self.telemetry = telemetry or trace_dir is not None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.observe = observe
+        if observe is not None and self._progress_phases:
+            observe.subscribe(self._forward_inflight)
         self.runs_executed = 0
         self.runs_from_cache = 0
+        self._done = 0
+        self._total = 0
+
+    def _forward_inflight(self, event: Dict[str, object]) -> None:
+        """Route in-flight bus events into a phase-aware progress callback."""
+        kind = event.get("event")
+        if kind == "run_finished":
+            return  # completions flow through _finish with the result
+        phase = "started" if kind == "run_started" else str(kind)
+        kwargs = {"phase": phase}
+        if self._progress_info:
+            kwargs["info"] = event
+        self.progress(self._done, self._total, None, **kwargs)
 
     # ------------------------------------------------------------------ #
 
@@ -448,22 +552,41 @@ class Executor:
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Execute ``specs``, returning results in input order."""
         specs = list(specs)
+        if not specs:
+            return []
         if self.telemetry:
             specs = [
                 s if s.telemetry else s.with_(telemetry=True) for s in specs
             ]
+        hub = self.observe
+        if hub is not None:
+            hub.begin(specs)
+        try:
+            return self._run_batch(specs, hub)
+        finally:
+            if hub is not None:
+                hub.end()
+
+    def _run_batch(self, specs: List[RunSpec], hub) -> List[RunResult]:
         total = len(specs)
+        self._total += total
         results: List[Optional[RunResult]] = [None] * total
-        done = 0
 
         def _finish(i: int, result: RunResult) -> None:
-            nonlocal done
             results[i] = result
-            done += 1
+            self._done += 1
             if self.runlog is not None:
                 self.runlog.write(make_record(result, engine=self.engine_snapshot()))
             if self.progress is not None:
-                self.progress(done, total, result)
+                if self._progress_phases:
+                    self.progress(
+                        self._done, self._total, result, phase="finished"
+                    )
+                else:
+                    self.progress(self._done, self._total, result)
+
+        publish = hub.handle if hub is not None else None
+        sample_every = hub.sample_every if hub is not None else DEFAULT_SAMPLE_EVERY
 
         # Serve cache hits first (and dedupe identical pending specs).
         pending: List[int] = []
@@ -474,8 +597,12 @@ class Executor:
                 payload = self.cache.get(digests[i])
                 if payload is not None:
                     result = RunResult.from_payload(payload, cache_hit=True)
-                    result.wall_s = time.perf_counter() - t0
+                    # Lookup time, not simulation time: well-defined (and
+                    # near-zero) even when every spec in the batch hits.
+                    result.wall_s = max(0.0, time.perf_counter() - t0)
                     self.runs_from_cache += 1
+                    if hub is not None:
+                        hub.note_finished(result)
                     _finish(i, result)
                     continue
             pending.append(i)
@@ -489,11 +616,17 @@ class Executor:
             unique.append(i)
 
         if self.trace_dir is not None:
-            computed = [self._run_traced(specs[i]) for i in unique]
+            computed = [
+                self._run_traced(specs[i], publish, sample_every)
+                for i in unique
+            ]
         elif self.jobs > 1 and len(unique) > 1:
-            computed = self._run_pool([specs[i] for i in unique])
+            computed = self._run_pool([specs[i] for i in unique], hub)
         else:
-            computed = [run_spec(specs[i]) for i in unique]
+            computed = [
+                run_spec(specs[i], publish=publish, sample_every=sample_every)
+                for i in unique
+            ]
 
         by_digest = {digests[i]: r for i, r in zip(unique, computed)}
         for i in pending:
@@ -507,28 +640,51 @@ class Executor:
             _finish(i, result)
         return results  # type: ignore[return-value]
 
-    def _run_traced(self, spec: RunSpec) -> RunResult:
+    def _run_traced(
+        self,
+        spec: RunSpec,
+        publish: Optional[Callable[[Dict[str, object]], None]] = None,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ) -> RunResult:
         """Execute one spec with full event recording + Chrome export."""
         from repro.telemetry import Tracer
         from repro.telemetry.export import write_chrome_trace
 
         tracer = Tracer()
-        _, _, result = execute_inline(spec, tracer=tracer)
+        _, _, result = execute_inline(
+            spec, tracer=tracer, publish=publish, sample_every=sample_every
+        )
         stem = re.sub(r"[^A-Za-z0-9._-]+", "-", spec.label())
         path = self.trace_dir / f"{stem}-{result.digest[:8]}.json"
         write_chrome_trace(tracer, path)
         result.meta["trace_path"] = str(path)
         return result
 
-    def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
+    def _run_pool(self, specs: List[RunSpec], hub=None) -> List[RunResult]:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context("spawn")
         payloads = [spec.to_dict() for spec in specs]
         jobs = min(self.jobs, len(payloads))
-        with ctx.Pool(processes=jobs) as pool:
-            outputs = pool.map(_pool_worker, payloads)
+        queue = drain = None
+        initializer = initargs = None
+        if hub is not None:
+            # Workers publish onto an inherited queue; a parent-side drain
+            # thread pumps events into the hub while the pool is mapping.
+            queue = ctx.Queue()
+            drain = BusDrain(queue, hub.handle, on_tick=hub.check_stalls)
+            drain.start()
+            initializer = install_worker_bus
+            initargs = (queue, hub.sample_every)
+        try:
+            with ctx.Pool(
+                processes=jobs, initializer=initializer, initargs=initargs or ()
+            ) as pool:
+                outputs = pool.map(_pool_worker, payloads)
+        finally:
+            if drain is not None:
+                drain.stop()
         return [RunResult.from_payload(p) for p in outputs]
 
     def engine_snapshot(self) -> Dict[str, object]:

@@ -105,7 +105,13 @@ def make_record(
         "warmup": spec.warmup,
         "cache_hit": result.cache_hit,
         "wall_s": round(wall, 4),
-        "cycles_per_sec": round(spec.cycles / wall, 1) if wall > 0 else None,
+        # Cache hits report lookup time, so cycles/wall-second would be a
+        # meaningless (and enormous) figure; the record says "not simulated".
+        "cycles_per_sec": (
+            round(spec.cycles / wall, 1)
+            if wall > 0 and not result.cache_hit
+            else None
+        ),
         "summary": result.summary,
         "meta": result.meta,
     }

@@ -47,9 +47,11 @@ def code_fingerprint() -> str:
         return override
     if _code_fingerprint is None:
         import repro
+        from repro.obs.log import get_logger
 
         root = os.path.dirname(os.path.abspath(repro.__file__))
         h = hashlib.sha256()
+        n_files = 0
         for dirpath, dirnames, filenames in sorted(os.walk(root)):
             dirnames.sort()
             for fname in sorted(filenames):
@@ -59,7 +61,12 @@ def code_fingerprint() -> str:
                 h.update(os.path.relpath(path, root).encode())
                 with open(path, "rb") as fh:
                     h.update(fh.read())
+                n_files += 1
         _code_fingerprint = h.hexdigest()[:16]
+        get_logger("repro.runtime.spec").debug(
+            f"code fingerprint {_code_fingerprint} over {n_files} files",
+            extra={"fingerprint": _code_fingerprint, "n_files": n_files},
+        )
     return _code_fingerprint
 
 

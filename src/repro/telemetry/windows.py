@@ -122,3 +122,43 @@ class WindowedAggregator:
         """All components' series under ``kind`` as ``(names, rows)``."""
         names = self.components(kind)
         return names, [self.series(kind, name, mean=mean) for name in names]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Compact running aggregate (the heartbeat payload).
+
+        Cheap to compute and small enough to cross the observation queue
+        on every heartbeat: per kind it carries the component count, the
+        grand total, the sample count and the single busiest component
+        (ties broken by name for determinism). Because the aggregator is
+        streaming, a snapshot taken mid-run over ``N`` events is exactly
+        the snapshot a fresh aggregator produces from those same ``N``
+        events post-hoc.
+        """
+        kinds: Dict[str, Dict[str, object]] = {}
+        for (kind, component), series in sorted(self._cells.items()):
+            total = 0.0
+            samples = 0
+            for cell_total, cell_n in series.values():
+                total += cell_total
+                samples += cell_n
+            agg = kinds.get(kind)
+            if agg is None:
+                agg = kinds[kind] = {
+                    "components": 0,
+                    "total": 0.0,
+                    "samples": 0,
+                    "peak_component": component,
+                    "peak_total": total,
+                }
+            agg["components"] += 1
+            agg["total"] += total
+            agg["samples"] += samples
+            if total > agg["peak_total"]:
+                agg["peak_component"] = component
+                agg["peak_total"] = total
+        return {
+            "window_cycles": self.window_cycles,
+            "n_windows": self.n_windows() if self._cells else 0,
+            "events": self.events_seen,
+            "kinds": {k: kinds[k] for k in WINDOW_KINDS if k in kinds},
+        }

@@ -1,0 +1,115 @@
+"""OpenMetrics textfile + JSON status document exporters."""
+
+import json
+
+from repro.obs import OpenMetricsExporter, StatusExporter
+
+
+def snap(**over):
+    base = {
+        "ts": 1700000000.0,
+        "total": 2,
+        "done": 1,
+        "inflight": 1,
+        "stalled": 0,
+        "heartbeats": 7,
+        "runs": {
+            "ab12cd34ef56": {
+                "run": "ab12cd34ef56",
+                "label": "own256/UN@0.03x1200",
+                "tag": "",
+                "worker": 41,
+                "phase": "run",
+                "cycle": 800,
+                "target_cycles": 1200,
+                "progress": 800 / 1200,
+                "injected": 900,
+                "ejected": 850,
+                "occupancy": 64,
+                "heartbeats": 7,
+                "wall_s": 2.0,
+                "cycles_per_sec": 400.0,
+                "eta_s": 1.0,
+                "cache_hit": False,
+                "stalled": False,
+                "started_ts": 1699999998.0,
+                "last_ts": 1700000000.0,
+                "latency_mean": None,
+                "throughput": None,
+                "windows": None,
+            },
+        },
+    }
+    base.update(over)
+    return base
+
+
+class TestOpenMetrics:
+    def test_render_structure(self, tmp_path):
+        exp = OpenMetricsExporter(tmp_path / "m.prom")
+        text = exp.render(snap())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert "# TYPE repro_runs gauge" in lines
+        assert "repro_runs 2" in lines
+        assert "repro_runs_done 1" in lines
+        assert "repro_heartbeats_total 7" in lines
+        assert (
+            'repro_run_cycle{run="ab12cd34ef56",label="own256/UN@0.03x1200"}'
+            " 800" in lines
+        )
+
+    def test_update_writes_file_atomically(self, tmp_path):
+        path = tmp_path / "m.prom"
+        exp = OpenMetricsExporter(path)
+        exp.update(snap())
+        first = path.read_text()
+        assert first.endswith("# EOF\n")
+        exp.update(snap(done=2, inflight=0))
+        assert "repro_runs_done 2" in path.read_text()
+        assert not list(tmp_path.glob("*.tmp")), "temp file left behind"
+
+    def test_label_escaping(self, tmp_path):
+        bad = snap()
+        bad["runs"]["ab12cd34ef56"]["label"] = 'we"ird\\lab\nel'
+        text = OpenMetricsExporter(tmp_path / "m.prom").render(bad)
+        assert 'label="we\\"ird\\\\lab\\nel"' in text
+
+    def test_non_finite_values_skipped(self, tmp_path):
+        bad = snap()
+        bad["runs"]["ab12cd34ef56"]["cycles_per_sec"] = float("inf")
+        bad["runs"]["ab12cd34ef56"]["eta_s"] = None
+        text = OpenMetricsExporter(tmp_path / "m.prom").render(bad)
+        assert "repro_run_cycles_per_sec{" not in text
+        assert "repro_run_eta_seconds{" not in text
+        # Finite series still render.
+        assert "repro_run_cycle{" in text
+
+    def test_heartbeat_age_from_snapshot_ts(self, tmp_path):
+        aged = snap()
+        aged["runs"]["ab12cd34ef56"]["last_ts"] = 1699999990.0
+        text = OpenMetricsExporter(tmp_path / "m.prom").render(aged)
+        assert "repro_run_heartbeat_age_seconds{" in text
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_run_heartbeat_age_seconds{")
+        )
+        assert float(line.rsplit(" ", 1)[1]) == 10.0
+
+
+class TestStatusExporter:
+    def test_writes_snapshot_json(self, tmp_path):
+        path = tmp_path / "status.json"
+        StatusExporter(path).update(snap())
+        doc = json.loads(path.read_text())
+        assert doc["total"] == 2 and doc["heartbeats"] == 7
+        assert doc["runs"]["ab12cd34ef56"]["cycle"] == 800
+
+    def test_rewrite_replaces_document(self, tmp_path):
+        path = tmp_path / "status.json"
+        exp = StatusExporter(path)
+        exp.update(snap())
+        exp.update(snap(done=2, heartbeats=9))
+        doc = json.loads(path.read_text())
+        assert doc["done"] == 2 and doc["heartbeats"] == 9
+        assert not list(tmp_path.glob("*.tmp"))

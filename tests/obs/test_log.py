@@ -1,0 +1,144 @@
+"""Structured logging: formatters, REPRO_LOG parsing, dynamic stderr."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ContextLogger,
+    HumanFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    """Each test starts from the default (human, INFO) configuration."""
+    configure_logging(json_mode=False, level=logging.INFO, force=True)
+    yield
+    configure_logging(json_mode=False, level=logging.INFO, force=True)
+
+
+def make_record(msg="hello", level=logging.INFO, **extra):
+    record = logging.LogRecord(
+        "repro.test", level, __file__, 1, msg, (), None
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestHumanFormatter:
+    def test_info_is_message_only(self):
+        assert HumanFormatter().format(make_record("engine: 2 simulated")) == (
+            "engine: 2 simulated"
+        )
+
+    def test_warning_gets_level_prefix(self):
+        out = HumanFormatter().format(
+            make_record("worker quiet", level=logging.WARNING)
+        )
+        assert out == "warning: worker quiet"
+
+    def test_error_gets_level_prefix(self):
+        out = HumanFormatter().format(
+            make_record("no comparable run points", level=logging.ERROR)
+        )
+        assert out == "error: no comparable run points"
+
+
+class TestJsonLinesFormatter:
+    def test_extra_fields_become_keys(self):
+        out = JsonLinesFormatter().format(
+            make_record("beat", run="ab12", phase="run", cycle=500)
+        )
+        doc = json.loads(out)
+        assert doc["msg"] == "beat"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.test"
+        assert (doc["run"], doc["phase"], doc["cycle"]) == ("ab12", "run", 500)
+        assert "ts" in doc
+
+    def test_strict_json_scrubs_nonfinite(self):
+        out = JsonLinesFormatter().format(
+            make_record("x", latency=float("nan"))
+        )
+        assert json.loads(out)["latency"] is None
+
+    def test_one_line_per_record(self):
+        out = JsonLinesFormatter().format(make_record("a\nb"))
+        # The message may contain escaped newlines but the document is one line.
+        assert "\n" not in out
+
+
+class TestConfigureLogging:
+    def test_human_output_reaches_capsys_stderr(self, capsys):
+        get_logger("repro.cli").info("engine: 1 simulated, 0 from cache")
+        assert "engine: 1 simulated, 0 from cache\n" in capsys.readouterr().err
+
+    def test_json_mode_emits_json_lines(self, capsys):
+        configure_logging(json_mode=True, force=True)
+        get_logger("repro.cli").info("hi", extra={"run": "abc"})
+        line = capsys.readouterr().err.strip()
+        doc = json.loads(line)
+        assert doc["msg"] == "hi" and doc["run"] == "abc"
+
+    def test_idempotent_no_handler_stacking(self, capsys):
+        configure_logging(json_mode=False)
+        configure_logging(json_mode=False)
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        get_logger().info("once")
+        assert capsys.readouterr().err.count("once") == 1
+
+    def test_env_json_mode(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "json")
+        configure_logging(force=True)
+        get_logger().info("env")
+        assert json.loads(capsys.readouterr().err)["msg"] == "env"
+
+    def test_env_off_silences(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "off")
+        configure_logging(force=True)
+        get_logger().warning("quiet")
+        assert capsys.readouterr().err == ""
+
+    def test_env_level_suffix(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "human:warning")
+        configure_logging(force=True)
+        log = get_logger()
+        log.info("hidden")
+        log.warning("shown")
+        err = capsys.readouterr().err
+        assert "hidden" not in err and "warning: shown" in err
+
+
+class TestContextLogger:
+    def test_bound_context_rides_along(self, capsys):
+        configure_logging(json_mode=True, force=True)
+        log = get_logger("repro.worker", run="ab12", worker=7)
+        log.info("beat")
+        doc = json.loads(capsys.readouterr().err)
+        assert doc["run"] == "ab12" and doc["worker"] == 7
+
+    def test_per_call_extra_overrides_bound(self, capsys):
+        configure_logging(json_mode=True, force=True)
+        log = get_logger("repro.worker", phase="run")
+        log.info("x", extra={"phase": "drain"})
+        assert json.loads(capsys.readouterr().err)["phase"] == "drain"
+
+    def test_bind_returns_extended_logger(self, capsys):
+        configure_logging(json_mode=True, force=True)
+        log = get_logger("repro.worker", run="ab12")
+        child = log.bind(phase="drain")
+        assert isinstance(child, ContextLogger)
+        child.info("y")
+        doc = json.loads(capsys.readouterr().err)
+        assert doc["run"] == "ab12" and doc["phase"] == "drain"
+
+    def test_names_nest_under_repro_root(self):
+        assert get_logger("cli").logger.name == "repro.cli"
+        assert get_logger("repro.cli").logger.name == "repro.cli"

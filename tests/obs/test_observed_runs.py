@@ -1,0 +1,267 @@
+"""Observation-only guarantee + executor integration (serial and pool).
+
+The load-bearing invariant of the whole observability layer: attaching
+an observer changes *nothing* about the simulation -- summaries, power,
+telemetry metrics are bit-identical with and without it, serial or
+parallel. CI additionally locks this via a golden ``repro diff`` at 0%.
+"""
+
+import logging
+
+import pytest
+
+from repro.obs import (
+    HEARTBEAT,
+    RUN_FINISHED,
+    RUN_STARTED,
+    ObservationHub,
+    RunObserver,
+    clear_worker_bus,
+)
+from repro.obs.log import configure_logging
+from repro.runtime import Executor, RunSpec
+from repro.runtime.executor import run_spec
+
+SPEC = RunSpec.create(
+    "cmesh", rate=0.02, cycles=300, warmup=100, seed=3,
+    topology_kwargs={"n_cores": 64},
+)
+SPECS = [
+    RunSpec.create(
+        "cmesh", rate=r, cycles=300, warmup=100, seed=3,
+        topology_kwargs={"n_cores": 64},
+    )
+    for r in (0.01, 0.02, 0.03)
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    configure_logging(json_mode=False, level=logging.INFO, force=True)
+    clear_worker_bus()
+    yield
+    clear_worker_bus()
+
+
+def make_hub(**kwargs):
+    kwargs.setdefault("sample_every", 50)
+    kwargs.setdefault("stall_after_s", 0)
+    return ObservationHub(**kwargs)
+
+
+class TestObservationOnly:
+    def test_observed_serial_run_bit_identical(self):
+        baseline = run_spec(SPEC)
+        observed = Executor(jobs=1, observe=make_hub()).run_one(SPEC)
+        assert observed.summary == baseline.summary
+        assert observed.power == baseline.power
+        assert observed.digest == baseline.digest
+
+    def test_observed_pool_run_bit_identical(self):
+        baselines = [run_spec(s) for s in SPECS]
+        observed = Executor(jobs=2, observe=make_hub()).run(SPECS)
+        for base, obs in zip(baselines, observed):
+            assert obs.summary == base.summary
+
+    def test_observed_telemetry_metrics_identical(self):
+        spec = SPEC.with_(telemetry=True)
+        baseline = run_spec(spec)
+        observed = Executor(jobs=1, observe=make_hub()).run_one(spec)
+        assert observed.metrics == baseline.metrics
+        assert observed.summary == baseline.summary
+
+    def test_fine_stride_still_identical(self):
+        baseline = run_spec(SPEC)
+        observed = Executor(
+            jobs=1, observe=make_hub(sample_every=1)
+        ).run_one(SPEC)
+        assert observed.summary == baseline.summary
+
+
+class TestSerialEvents:
+    def test_lifecycle_event_stream(self):
+        hub = make_hub()
+        events = []
+        hub.subscribe(events.append)
+        Executor(jobs=1, observe=hub).run_one(SPEC)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == RUN_STARTED
+        assert kinds[-1] == RUN_FINISHED
+        beats = [e for e in events if e["event"] == HEARTBEAT]
+        # 300 measured + drain budget at stride 50 -> several beats.
+        assert len(beats) >= 3
+        cycles = [e["cycle"] for e in beats]
+        assert cycles == sorted(cycles)
+        for beat in beats:
+            assert beat["injected"] >= beat["ejected"] >= 0
+            assert beat["target_cycles"] > 0
+            assert beat["phase"] in ("run", "drain")
+
+    def test_hub_final_state(self):
+        hub = make_hub()
+        Executor(jobs=1, observe=hub).run_one(SPEC)
+        snap = hub.snapshot()
+        assert snap["done"] == 1 and snap["total"] == 1
+        assert snap["inflight"] == 0
+        (state,) = snap["runs"].values()
+        assert state["phase"] == "finished"
+        assert state["latency_mean"] is not None
+
+    def test_windows_ride_heartbeats_when_traced(self):
+        hub = make_hub()
+        events = []
+        hub.subscribe(events.append)
+        Executor(jobs=1, observe=hub).run_one(SPEC.with_(telemetry=True))
+        beats = [e for e in events if e["event"] == HEARTBEAT]
+        with_windows = [b for b in beats if b.get("windows")]
+        assert with_windows, "traced observed run carried no window snapshots"
+        last = with_windows[-1]["windows"]
+        assert last["events"] > 0 and "link_busy" in last["kinds"]
+
+    def test_untraced_run_has_no_window_payload(self):
+        hub = make_hub()
+        events = []
+        hub.subscribe(events.append)
+        Executor(jobs=1, observe=hub).run_one(SPEC)
+        beats = [e for e in events if e["event"] == HEARTBEAT]
+        assert beats and all(b.get("windows") is None for b in beats)
+
+
+class TestPoolEvents:
+    def test_worker_events_cross_the_queue(self):
+        hub = make_hub()
+        events = []
+        hub.subscribe(events.append)
+        Executor(jobs=2, observe=hub).run(SPECS)
+        kinds = [e["event"] for e in events]
+        assert kinds.count(RUN_STARTED) == 3
+        assert kinds.count(RUN_FINISHED) == 3
+        assert kinds.count(HEARTBEAT) >= 9
+        workers = {e["worker"] for e in events if e["event"] == HEARTBEAT}
+        assert len(workers) >= 2, "expected heartbeats from multiple workers"
+        assert hub.snapshot()["done"] == 3
+
+
+class TestCacheHits:
+    def test_cache_hit_noted_finished(self, tmp_path):
+        hub = make_hub()
+        ex = Executor(jobs=1, cache=str(tmp_path / "cache"), observe=hub)
+        ex.run_one(SPEC)
+        events = []
+        hub.subscribe(events.append)
+        result = ex.run_one(SPEC)
+        assert result.cache_hit
+        fins = [e for e in events if e["event"] == RUN_FINISHED]
+        assert len(fins) == 1 and fins[0]["cache_hit"] is True
+        assert hub.snapshot()["done"] == 1  # same digest: one run state
+
+    def test_cache_hit_wall_s_well_defined(self, tmp_path):
+        ex = Executor(jobs=1, cache=str(tmp_path / "cache"))
+        ex.run_one(SPEC)
+        hit = ex.run_one(SPEC)
+        assert hit.cache_hit and hit.wall_s >= 0.0
+
+    def test_cache_hit_record_has_no_cycles_per_sec(self, tmp_path):
+        from repro.runtime import read_runlog
+
+        log_path = tmp_path / "runs.jsonl"
+        ex = Executor(
+            jobs=1, cache=str(tmp_path / "cache"), runlog=str(log_path)
+        )
+        ex.run_one(SPEC)
+        ex.run_one(SPEC)
+        miss, hit = read_runlog(log_path)
+        assert miss["cycles_per_sec"] is not None
+        assert hit["cache_hit"] is True
+        assert hit["cycles_per_sec"] is None
+
+    def test_empty_batch_short_circuits(self):
+        hub = make_hub()
+        assert Executor(jobs=1, observe=hub).run([]) == []
+        assert hub.snapshot()["total"] == 0
+
+
+class TestProgressPhases:
+    def test_legacy_callback_sees_only_completions(self):
+        seen = []
+        ex = Executor(
+            jobs=1,
+            observe=make_hub(),
+            progress=lambda done, total, r: seen.append((done, total)),
+        )
+        ex.run(SPECS)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_phase_aware_callback_sees_inflight(self):
+        calls = []
+
+        def progress(done, total, result, phase=None, info=None):
+            calls.append((phase, result is not None, info))
+
+        ex = Executor(jobs=1, observe=make_hub(), progress=progress)
+        ex.run_one(SPEC)
+        phases = [c[0] for c in calls]
+        assert phases[0] == "started"
+        assert "heartbeat" in phases
+        assert phases[-1] == "finished"
+        # Only the completion carries a result; in-flight calls carry the
+        # raw event instead.
+        for phase, has_result, info in calls:
+            if phase == "finished":
+                assert has_result and info is None
+            else:
+                assert not has_result and info["event"] is not None
+
+    def test_phase_without_info_param_supported(self):
+        calls = []
+
+        def progress(done, total, result, phase=None):
+            calls.append(phase)
+
+        Executor(jobs=1, observe=make_hub(), progress=progress).run_one(SPEC)
+        assert calls[0] == "started" and calls[-1] == "finished"
+
+    def test_phase_aware_without_hub_gets_finished_only(self):
+        calls = []
+
+        def progress(done, total, result, phase=None, info=None):
+            calls.append(phase)
+
+        Executor(jobs=1, progress=progress).run_one(SPEC)
+        assert calls == ["finished"]
+
+
+class TestRunObserverUnit:
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            RunObserver(lambda e: None, digest="ab" * 32, label="x", every=0)
+
+    def test_min_interval_rate_limits(self):
+        events = []
+        obs = RunObserver(
+            events.append, digest="ab" * 32, label="x", every=10,
+            target_cycles=100, min_interval_s=3600.0,
+        )
+
+        class _Stats:
+            packets_created = 0
+            packets_ejected = 0
+
+        class _Net:
+            def total_occupancy(self):
+                return 0
+
+        class _Sim:
+            stats = _Stats()
+            network = _Net()
+            _paused_traffic = None
+            _active_routers = ()
+            _active_nis = ()
+
+        sim = _Sim()
+        obs.sample(sim, 10)
+        obs.sample(sim, 20)
+        obs.sample(sim, 30)
+        # The wall-clock floor suppresses all but the stride bookkeeping.
+        assert obs.heartbeats <= 1
+        assert obs.next_cycle == 40

@@ -156,6 +156,77 @@ class TestWindowedAggregatorUnit:
         assert agg.n_windows() == 3
 
 
+class TestSnapshot:
+    def test_empty_aggregator_snapshot(self):
+        snap = WindowedAggregator(window_cycles=32).snapshot()
+        assert snap == {
+            "window_cycles": 32,
+            "n_windows": 0,
+            "events": 0,
+            "kinds": {},
+        }
+
+    def test_only_unknown_events_keeps_kinds_empty(self):
+        agg = WindowedAggregator()
+        agg.on_event(TraceEvent(10, "packet_done", "sim"))
+        snap = agg.snapshot()
+        assert snap["events"] == 1
+        assert snap["kinds"] == {} and snap["n_windows"] == 0
+
+    def test_partial_final_window_counted(self):
+        agg = WindowedAggregator(window_cycles=10)
+        agg.on_event(TraceEvent(0, FLIT_SEND, "a", dur=2))
+        agg.on_event(TraceEvent(23, FLIT_SEND, "a", dur=3))  # window 2, 4/10 full
+        snap = agg.snapshot()
+        assert snap["n_windows"] == 3  # the partial third window counts
+        busy = snap["kinds"]["link_busy"]
+        assert busy == {
+            "components": 1,
+            "total": 5.0,
+            "samples": 2,
+            "peak_component": "a",
+            "peak_total": 5.0,
+        }
+
+    def test_peak_component_and_tie_break(self):
+        agg = WindowedAggregator(window_cycles=10)
+        agg.on_event(TraceEvent(1, FLIT_SEND, "b", dur=4))
+        agg.on_event(TraceEvent(2, FLIT_SEND, "a", dur=4))  # tie -> "a" wins
+        assert agg.snapshot()["kinds"]["link_busy"]["peak_component"] == "a"
+        agg.on_event(TraceEvent(3, FLIT_SEND, "b", dur=1))
+        assert agg.snapshot()["kinds"]["link_busy"]["peak_component"] == "b"
+
+    def test_midrun_snapshot_matches_posthoc_aggregation(self):
+        """Streaming invariant: a snapshot over the first N events equals
+        a fresh aggregator fed those same N events after the fact."""
+        events = [
+            TraceEvent(c, FLIT_SEND, f"l{c % 3}", dur=1 + c % 4)
+            for c in range(0, 200, 7)
+        ] + [
+            TraceEvent(c, VC_STALL, "r1") for c in range(0, 100, 13)
+        ]
+        live = WindowedAggregator(window_cycles=16)
+        for i, ev in enumerate(events):
+            live.on_event(ev)
+            if i == len(events) // 2:
+                posthoc = WindowedAggregator(window_cycles=16)
+                for past in events[: i + 1]:
+                    posthoc.on_event(past)
+                assert live.snapshot() == posthoc.snapshot()
+        posthoc = WindowedAggregator(window_cycles=16)
+        for ev in events:
+            posthoc.on_event(ev)
+        assert live.snapshot() == posthoc.snapshot()
+
+    def test_snapshot_is_strict_json(self):
+        import json
+
+        agg = WindowedAggregator(window_cycles=8)
+        agg.on_event(TraceEvent(0, BUFFER_SAMPLE, "sim",
+                                args={"occupancy": {"r0": 2}}))
+        json.dumps(agg.snapshot(), allow_nan=False)
+
+
 class TestWindowedAggregatorIntegration:
     def test_streams_a_real_run(self):
         agg = WindowedAggregator(window_cycles=32)

@@ -156,6 +156,72 @@ class TestTelemetryFlags:
         assert metered == plain
 
 
+class TestObservabilityFlags:
+    ARGS = [
+        "sweep", "cmesh256", "--rates", "0.01", "--cycles", "300",
+        "--warmup", "100",
+    ]
+
+    def test_live_plain_summary_on_captured_stderr(self, capsys):
+        assert main(self.ARGS + ["--live", "--heartbeat-cycles", "50"]) == 0
+        captured = capsys.readouterr()
+        assert "live:" in captured.err
+        assert "saturation offered load" in captured.out
+
+    def test_log_json_emits_json_lines(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--log-json", "--jobs", "1",
+                                 "--heartbeat-cycles", "50"]) == 0
+        err = capsys.readouterr().err
+        engine_lines = [l for l in err.splitlines() if "engine" in l]
+        assert engine_lines
+        doc = json.loads(engine_lines[-1])
+        assert doc["msg"].startswith("engine: 1 simulated")
+        assert doc["runs_executed"] == 1
+
+    def test_status_and_openmetrics_artifacts(self, tmp_path, capsys):
+        import json
+
+        status = tmp_path / "status.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(self.ARGS + [
+            "--heartbeat-cycles", "50",
+            "--status-json", str(status), "--openmetrics", str(prom),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(status.read_text())
+        assert doc["done"] == 1 and doc["total"] == 1
+        assert doc["heartbeats"] >= 3
+        (state,) = doc["runs"].values()
+        assert state["phase"] == "finished"
+        text = prom.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_runs_done 1" in text
+        assert "repro_run_cycle{" in text
+
+    def test_observed_sweep_output_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(self.ARGS + ["--live", "--heartbeat-cycles", "50"]) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain
+
+    def test_scenarios_accept_obs_flags(self, tmp_path, capsys):
+        import json
+
+        status = tmp_path / "status.json"
+        rc = main([
+            "scenarios", "run", "--only", "coherence,own256,clean,ideal",
+            "--cycles", "200", "--warmup", "50",
+            "--heartbeat-cycles", "50", "--status-json", str(status),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(status.read_text())
+        assert doc["done"] == 1 and doc["heartbeats"] >= 1
+
+
 class TestDiffCommand:
     SWEEP = [
         "sweep", "cmesh256", "--rates", "0.01,0.02", "--cycles", "200",
