@@ -63,6 +63,11 @@ GATED_METRICS: Dict[str, Tuple[Tuple[str, ...], bool]] = {
 #: metric is skipped, like any other.
 EXACT_METRICS: Dict[str, Tuple[str, ...]] = {
     "control_log_crc": ("summary", "control_log_crc"),
+    # Spare-channel drain state machine: CRC of the reconfiguration
+    # controller's canonical phase-transition log (two-phase draining
+    # re-assignment). Present whenever a controller ran, open-loop or
+    # managed; absent-side records skip the gate.
+    "drain_log_crc": ("summary", "drain_log_crc"),
 }
 
 SpecKey = Tuple[object, ...]

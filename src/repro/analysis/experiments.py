@@ -928,14 +928,14 @@ def study_adaptive(
     channel, and a permanent transceiver death -- and runs each cell
     twice on OWN-256 with spare hardware:
 
-    - **static**: the pre-existing open-loop plant --
+    - **static**: the open-loop plant --
       :class:`~repro.faults.HealthMonitor` failover pinning spares onto
-      dead channels, with the utilisation-ranked periodic re-pointer
-      held off (``reconfig_epoch`` past the horizon: open-loop periodic
-      re-pointing under sustained hotspot strands in-flight packets, a
-      pre-existing hazard noted in ``docs/fault-tolerance.md``). A
-      channel that fails over stays failed over for the rest of the run
-      even after the interference clears.
+      dead channels plus the utilisation-ranked periodic re-pointer at
+      the same 250-cycle epoch as the adaptive arm. Two-phase draining
+      re-assignment (``docs/fault-tolerance.md``) makes periodic
+      re-pointing safe under sustained hotspots, so the arm runs
+      unmanaged end to end. A channel that fails over stays failed over
+      for the rest of the run even after the interference clears.
     - **adaptive**: the same plant driven by a
       :class:`repro.control.ControlLoop` (:class:`ControlSpec`):
       telemetry-ranked spare placement with hysteresis + dwell, probe
@@ -956,25 +956,26 @@ def study_adaptive(
 
     cycles = 4000 if quick else 10_000
     rate = 0.03
-    # Static arms: failover=True wires monitor + controller, but the
-    # periodic utilisation-driven reassign is held past the horizon --
-    # spares move only when a failover pins them (see docstring).
-    _hold = 10**9
+    # Static arms: failover=True wires monitor + controller with the
+    # genuine open-loop utilisation-driven re-pointer. Two-phase draining
+    # re-assignment makes this safe at any epoch (old spares drain before
+    # the channel moves; stragglers take the escape path), so the arms
+    # now compare real open-loop re-pointing against the closed loop.
     burst = lambda fail: FaultSpec(  # noqa: E731 - local shorthand
         kind="bursty", burst_rate=0.0004, burst_duration=600,
         snr_penalty_db=14.0, max_channel=1, seed=9, failover=fail,
-        reconfig_epoch=_hold if fail else 250,
+        reconfig_epoch=250,
     )
     death = lambda fail: FaultSpec(  # noqa: E731
         kind="death", at=cycles // 4, target_index=0, failover=fail,
-        reconfig_epoch=_hold if fail else 250,
+        reconfig_epoch=250,
     )
     # A zero-rate campaign keeps the plant (monitor + spare hardware)
     # wired in both arms without injecting any fault, so the no-fault
     # cell compares placement policy alone.
     calm = lambda fail: FaultSpec(  # noqa: E731
         kind="bursty", burst_rate=0.0, failover=fail,
-        reconfig_epoch=_hold if fail else 250,
+        reconfig_epoch=250,
     )
     scenarios = [("hotspot", calm), ("hot+burst", burst), ("hot+death", death)]
 

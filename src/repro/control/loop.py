@@ -137,6 +137,12 @@ class ControlLoop:
         self.log = DecisionLog()
 
         reconfig.managed = True
+        # Mirror the controller's drain state machine into the decision
+        # log: every phase transition (install / drain_start /
+        # drain_complete / drain_timeout / drain_cancel / revoke / escape)
+        # lands as a ``spare_*`` record, so the byte-stable CRC gate also
+        # covers two-phase re-assignment behaviour.
+        reconfig.on_transition = self._on_drain_transition
         self.epochs = 0
         self.frozen = False
         self.recovered_channels = 0
@@ -403,6 +409,17 @@ class ControlLoop:
         tracer = sim._tracer
         if tracer is not None:
             tracer.on_control(action, record, now)
+
+    def _on_drain_transition(self, record: Dict[str, object]) -> None:
+        """Fold a controller phase-transition record into the decision log.
+
+        Transitions can fire outside the loop's own epoch step (the
+        controller advances drains on its per-cycle clock), so this only
+        appends to the log -- no tracer event, no simulator access.
+        """
+        detail = {k: v for k, v in record.items() if k not in ("cycle", "event")}
+        self.log.append(record["cycle"], self.epochs,
+                        f"spare_{record['event']}", **detail)
 
     def summary_metrics(self) -> Dict[str, float]:
         """Flat floats folded into the run-record summary (diff-gated)."""

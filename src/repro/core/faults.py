@@ -48,6 +48,11 @@ class FaultTolerantOwn256Routing(Own256Routing):
         super().__init__(*args, **kwargs)
         self.failed_pairs: Set[Tuple[int, int]] = set()
         self.relayed_packets = 0
+        #: Mid-flight packets forced onto the escape path: a fail/reassign
+        #: flip would have sent them onto a *third* wireless first-leg,
+        #: beyond the two-leg VC discipline. They restart store-and-forward
+        #: instead (see :meth:`hold_for_full`).
+        self.reroute_escapes = 0
         #: Control-plane relay steering: ``(cs, cd) -> cx`` forces relayed
         #: traffic for a failed pair through middle cluster ``cx`` when
         #: that relay is live (see :meth:`prefer_relay`).
@@ -70,11 +75,17 @@ class FaultTolerantOwn256Routing(Own256Routing):
     # ---------------- fault management ---------------- #
 
     def _spare_active(self, cs: int, cd: int) -> bool:
-        """Is a spare D->D channel currently assigned to (cs, cd)?"""
+        """Is an ACTIVE spare D->D channel assigned to (cs, cd)?
+
+        Draining assignments do not count: they accept no new packets, so
+        routability decisions (:meth:`_next_cluster`) must not rely on
+        them. Committed in-flight packets still finish crossing a draining
+        spare via the base class's ``_spare_route``.
+        """
         return (
             self.reconfig is not None
             and (cs, cd) in self.spare_out_port
-            and self.reconfig.boosted(cs, cd) is not None
+            and self.reconfig.steerable(cs, cd)
         )
 
     def fail_channel(self, src_cluster: int, dst_cluster: int) -> None:
@@ -102,9 +113,15 @@ class FaultTolerantOwn256Routing(Own256Routing):
             if not already:
                 self.failed_pairs.discard(pair)
             raise
+        if not already:
+            # Heads waiting on a route planned against the healthy channel
+            # must re-route onto relays (see invalidate_pending_routes).
+            self.invalidate_pending_routes()
 
     def restore_channel(self, src_cluster: int, dst_cluster: int) -> None:
-        self.failed_pairs.discard((src_cluster, dst_cluster))
+        if (src_cluster, dst_cluster) in self.failed_pairs:
+            self.failed_pairs.discard((src_cluster, dst_cluster))
+            self.invalidate_pending_routes()
 
     def unfail_channel(self, src_cluster: int, dst_cluster: int) -> bool:
         """Return a healed channel to service (control-plane recovery).
@@ -119,6 +136,9 @@ class FaultTolerantOwn256Routing(Own256Routing):
         self.failed_pairs.discard((src_cluster, dst_cluster))
         self.relay_preference.pop((src_cluster, dst_cluster), None)
         self.unfailed_channels += 1
+        # Relay-planned heads still waiting for a VC re-route onto the
+        # recovered direct channel instead of chasing stale relay legs.
+        self.invalidate_pending_routes()
         return True
 
     def prefer_relay(self, cs: int, cd: int, via: Optional[int]) -> None:
@@ -171,37 +191,74 @@ class FaultTolerantOwn256Routing(Own256Routing):
 
     # ---------------- routing ---------------- #
 
+    def _steer_new(self, router: Router, packet, c_cur: int, c_dst: int) -> bool:
+        if not self.alive(c_cur, c_dst):
+            # Dead pair with an active spare: the spare *is* the route, so
+            # all its traffic takes the D path wherever it currently sits
+            # (escaped packets included -- routability first).
+            return self._spare_active(c_cur, c_dst)
+        # Alive pair: inherit the parity-interleaved source-only boost.
+        return super()._steer_new(router, packet, c_cur, c_dst)
+
     def compute(self, router: Router, packet) -> int:
         rid = router.rid
         dst_rid = self._dst_rid(packet)
+        ctrl = self.reconfig
         if dst_rid == rid:
+            if ctrl is not None and ctrl._pid_pair:
+                _, c_cur, _ = self._gct(rid)
+                ctrl.note_arrival(packet.pid, c_cur)
             return self.net.core_eject_port[packet.dst_core]
         _, c_cur, _ = self._gct(rid)
         _, c_dst, _ = self._gct(dst_rid)
         if c_cur == c_dst:
+            if ctrl is not None and ctrl._pid_pair:
+                ctrl.note_arrival(packet.pid, c_cur)
             return self.photonic_port[(rid, dst_rid)]
-        use_spare = (
-            # Dead pair with a pinned spare: all its traffic takes the D
-            # path. Alive pair: inherit the parity-interleaved boost.
-            self._spare_active(c_cur, c_dst)
-            if not self.alive(c_cur, c_dst)
-            else self._use_spare(packet, c_cur, c_dst)
-        )
-        if use_spare:
-            d_gateway = self.spare_gateway_rid[c_cur]
-            if rid == d_gateway:
-                return self.spare_out_port[(c_cur, c_dst)]
-            return self.photonic_port[(rid, d_gateway)]
+        port = self._spare_route(router, packet, c_cur, c_dst)
+        if port is not None:
+            return port
         c_next = self._next_cluster(c_cur, c_dst)
-        if c_next != c_dst and rid == self.gateway_rid[
-            self.channel_map[(c_cur, c_next)].channel_index
-        ]:
-            self.relayed_packets += 1
+        if c_next != c_dst:
+            if packet.wireless_hops >= 1 and not packet.escaped:
+                # Mid-flight re-relay: this packet already crossed a
+                # wireless leg and is now being handed another *first*
+                # leg (fail/reassign flipped under it) -- a third hop
+                # would exceed the two-leg VC discipline. Latch the
+                # escape: the remaining path restarts store-and-forward
+                # at every ascent (hold_for_full), so each inter-restart
+                # segment is a fresh monotone climb through the existing
+                # VC classes.
+                packet.escaped = True
+                self.reroute_escapes += 1
+            if rid == self.gateway_rid[
+                self.channel_map[(c_cur, c_next)].channel_index
+            ]:
+                self.relayed_packets += 1
         channel = self.channel_map[(c_cur, c_next)]
         gateway = self.gateway_rid[channel.channel_index]
         if rid == gateway:
             return self.wireless_port[(rid, channel.channel_index)]
         return self.photonic_port[(rid, gateway)]
+
+    def hold_for_full(self, router: Router, out_port: int, packet) -> bool:
+        """Store-and-forward gate for escape-path restarts.
+
+        An escaped packet (spare revoked under it, or a mid-flight
+        re-relay) restarts each remaining photonic *ascent* only once all
+        of its flits are buffered locally. By then every upstream resource
+        the packet held has been released (the tail has arrived), so the
+        restart cannot couple two home waveguides into a mid-packet
+        token-hold cycle -- the failure mode behind the open-loop
+        re-pointer deadlock. Descents and wireless hops stay wormhole.
+        """
+        if not packet.escaped:
+            return False
+        if router.out_links[out_port].kind != "photonic":
+            return False
+        _, c_cur, _ = self._gct(router.rid)
+        _, c_dst, _ = self._gct(self._dst_rid(packet))
+        return c_cur != c_dst  # ascending hop
 
     def allowed_vcs(self, router: Router, out_port: int, packet) -> Sequence[int]:
         """VC discipline derived from the *chosen out-port*, not fault state.

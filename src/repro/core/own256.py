@@ -214,7 +214,11 @@ def build_own256(
     )
 
 
-def make_reconfig_controller(built: BuiltTopology, epoch_cycles: int = 500):
+def make_reconfig_controller(
+    built: BuiltTopology,
+    epoch_cycles: int = 500,
+    drain_timeout: int | None = None,
+):
     """Create + attach a reconfiguration controller to an OWN-256 network.
 
     The returned controller must also be registered as a simulator hook::
@@ -229,7 +233,11 @@ def make_reconfig_controller(built: BuiltTopology, epoch_cycles: int = 500):
     ValueError
         If the topology was not built ``with_reconfiguration=True``.
     """
-    from repro.core.reconfig import ReconfigurationController, validate_spare_topology
+    from repro.core.reconfig import (
+        DEFAULT_DRAIN_TIMEOUT,
+        ReconfigurationController,
+        validate_spare_topology,
+    )
 
     spare_links = built.notes.get("spare_links")
     if not spare_links:
@@ -242,6 +250,9 @@ def make_reconfig_controller(built: BuiltTopology, epoch_cycles: int = 500):
         spare_links,
         built.notes["primary_links"],
         epoch_cycles=epoch_cycles,
+        drain_timeout=(
+            DEFAULT_DRAIN_TIMEOUT if drain_timeout is None else drain_timeout
+        ),
     )
     built.notes["routing"].attach_reconfiguration(controller)
     return controller

@@ -38,6 +38,7 @@ from repro.core.channels import (
     GROUP_OFFSET_ANTENNA,
 )
 from repro.core.coords import OwnDims
+from repro.noc.buffers import VCState
 from repro.noc.network import Network
 from repro.noc.router import Router, RoutingFunction
 
@@ -122,6 +123,41 @@ class OwnRoutingBase(RoutingFunction):
     def _wireless_vcs(self, packet) -> Sequence[int]:
         raise NotImplementedError
 
+    def invalidate_pending_routes(self) -> None:
+        """Force re-routing of every head still waiting for a VC grant.
+
+        Routes are computed once per packet per router and cached on the
+        input VC; a head parked in WAITING_VC then re-polls only its
+        *cached* downstream candidates. When channel fault state or the
+        spare plan flips underneath it, those cached decisions can aim
+        opposing flows at each other's gateway waveguides -- two full
+        ascents each waiting on the other's input VC is a stable cycle
+        that no VC-class ordering breaks, because both decisions were
+        legal when taken but against different topologies. Flushing
+        WAITING_VC heads back to IDLE makes them re-run route computation
+        against the live state, so stale-route cycles cannot persist past
+        the reconfiguration event that created them. ACTIVE packets are
+        already streaming into a granted VC and drain normally; runs with
+        no fault or spare churn never reach this path, keeping them
+        bit-identical.
+        """
+        for router in self.net.routers:
+            if not router._occupied:
+                continue
+            input_ports = router.input_ports
+            rc_pending = router._rc_pending
+            for key in router._occupied:
+                vc = input_ports[key[0]].vcs[key[1]]
+                if vc.state is not VCState.WAITING_VC:
+                    continue
+                vc.state = VCState.IDLE
+                vc.out_port = None
+                vc.cand_endpoint = None
+                vc.cand_vcs = None
+                if vc.kern is not None:
+                    vc.kern.vc_state[vc.gslot] = 0
+                rc_pending.add(key)
+
 
 class Own256Routing(OwnRoutingBase):
     """OWN-256: photonic -> dedicated inter-cluster wireless -> photonic.
@@ -153,30 +189,78 @@ class Own256Routing(OwnRoutingBase):
 
     def attach_reconfiguration(self, controller) -> None:
         self.reconfig = controller
+        controller.invalidate_routes = self.invalidate_pending_routes
 
-    def _use_spare(self, packet, c_cur: int, c_dst: int) -> bool:
-        if self.reconfig is None:
+    def _steer_new(self, router: Router, packet, c_cur: int, c_dst: int) -> bool:
+        """Should a not-yet-committed packet be steered at the D gateway?"""
+        if packet.escaped:
+            # Escape path: a packet already forced off a revoked spare (or
+            # off a failed relay leg) never re-enters the spare plan.
             return False
-        if self.reconfig.boosted(c_cur, c_dst) is None:
+        if not self.reconfig.steerable(c_cur, c_dst):
+            return False
+        if self.net.core_router[packet.src_core] != router.rid:
+            # The steer is the *ascend decision*, taken once at the source
+            # router. A packet already past it keeps its path: diverting
+            # it at the primary gateway would bounce it back toward D --
+            # a second ascent in the same VC class, which couples the two
+            # gateways' home waveguides into exactly the mutual-wait
+            # cycle the drain protocol exists to prevent.
             return False
         # Per-packet stickiness: parity splits the pair's load ~50/50 while
         # every flit of a packet follows one path.
         return packet.pid % 2 == 1
 
+    def _spare_route(self, router: Router, packet, c_cur: int, c_dst: int):
+        """Spare-channel leg of route computation; ``None`` means primary.
+
+        New packets are steered only while the pair's assignment is ACTIVE
+        (:meth:`ReconfigurationController.steerable`) and the steer is
+        recorded per-pid (:meth:`track_steer`) so the controller can drain
+        the leg before re-pointing the channel. A *committed* packet keeps
+        its path through the D gateway while the assignment is active or
+        draining; if a drain timeout revoked it first, the packet escapes
+        (:meth:`note_escape`) onto the primary plan.
+        """
+        ctrl = self.reconfig
+        if ctrl is None:
+            return None
+        rid = router.rid
+        pair = (c_cur, c_dst)
+        if ctrl._pid_pair and ctrl.committed_pair(packet.pid) == pair:
+            if ctrl.assignment_for(pair) is not None:
+                d_gateway = self.spare_gateway_rid[c_cur]
+                if rid == d_gateway:
+                    return self.spare_out_port[pair]
+                return self.photonic_port[(rid, d_gateway)]
+            ctrl.note_escape(packet.pid, packet)
+            return None
+        if self._steer_new(router, packet, c_cur, c_dst):
+            ctrl.track_steer(packet.pid, pair)
+            d_gateway = self.spare_gateway_rid[c_cur]
+            if rid == d_gateway:
+                return self.spare_out_port[pair]
+            return self.photonic_port[(rid, d_gateway)]
+        return None
+
     def compute(self, router: Router, packet) -> int:
         rid = router.rid
         dst_rid = self._dst_rid(packet)
+        ctrl = self.reconfig
         if dst_rid == rid:
+            if ctrl is not None and ctrl._pid_pair:
+                _, c_cur, _ = self._gct(rid)
+                ctrl.note_arrival(packet.pid, c_cur)
             return self.net.core_eject_port[packet.dst_core]
         _, c_cur, _ = self._gct(rid)
         _, c_dst, _ = self._gct(dst_rid)
         if c_cur == c_dst:
+            if ctrl is not None and ctrl._pid_pair:
+                ctrl.note_arrival(packet.pid, c_cur)
             return self.photonic_port[(rid, dst_rid)]
-        if self._use_spare(packet, c_cur, c_dst):
-            d_gateway = self.spare_gateway_rid[c_cur]
-            if rid == d_gateway:
-                return self.spare_out_port[(c_cur, c_dst)]
-            return self.photonic_port[(rid, d_gateway)]
+        port = self._spare_route(router, packet, c_cur, c_dst)
+        if port is not None:
+            return port
         channel = self.channel_map[(c_cur, c_dst)]
         gateway = self.gateway_rid[channel.channel_index]
         if rid == gateway:

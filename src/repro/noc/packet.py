@@ -119,6 +119,7 @@ class Packet:
         "photonic_hops",
         "electrical_hops",
         "measured",
+        "escaped",
     )
 
     def __init__(
@@ -152,6 +153,12 @@ class Packet:
         # after it, so the measured window never mixes epochs. ``None`` for
         # packets created outside any collector (manual injection in tests).
         self.measured: Optional[bool] = None
+        # One-way latch set by the routing layer when a mid-flight
+        # reconfiguration (spare revocation / relay-leg failure) forces the
+        # packet off its committed path. Escaped packets are never steered
+        # onto spare channels again and restart each remaining ascent
+        # store-and-forward (see FaultTolerantOwn256Routing.hold_for_full).
+        self.escaped = False
 
     @property
     def latency(self) -> int:

@@ -43,6 +43,21 @@ class RoutingFunction:
         endpoint = link.resolve_endpoint(packet)
         return range(endpoint.num_vcs)
 
+    def hold_for_full(self, router: "Router", out_port: int, packet: "Packet") -> bool:
+        """Store-and-forward gate, consulted during route computation.
+
+        Return ``True`` to keep the packet's head parked in its (IDLE)
+        input VC until every flit of the packet is buffered at this router;
+        each arriving flit re-arms route computation, so the predicate is
+        re-evaluated as the packet accumulates. Only honoured when the
+        packet can fit the VC (``size_flits <= vc_depth``), and only
+        consulted for packets with the ``escaped`` latch set (so the
+        common case costs one attribute load). The default is wormhole
+        everywhere; OWN's fault-tolerant routing uses this for
+        escape-path restarts after mid-flight reconfiguration.
+        """
+        return False
+
 
 # Type of the delivery callback the simulator passes into stage_sa:
 SendFn = Callable[[Link, Endpoint, "Flit", int, int], None]
@@ -258,7 +273,18 @@ class Router:
                     f"(in_port={ip}, vc={iv}): {flit!r}"
                 )
             packet = flit.packet
-            vc.out_port = routing.compute(self, packet)
+            out_port = routing.compute(self, packet)
+            if (
+                packet.escaped
+                and len(vc.queue) < packet.size_flits <= vc.depth
+                and routing.hold_for_full(self, out_port, packet)
+            ):
+                # Store-and-forward hold (escape-path restarts): leave the
+                # VC IDLE -- retaining no route state, per the coherence
+                # invariant -- until the whole packet is buffered here.
+                # deliver_flit re-adds the VC to _rc_pending per flit.
+                continue
+            vc.out_port = out_port
             link = self.out_links[vc.out_port]
             vc.cand_endpoint = link.resolve_endpoint(packet)
             if not vc.cand_endpoint.is_sink:

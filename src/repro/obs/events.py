@@ -24,7 +24,10 @@ plus a per-kind payload:
                   when windowed telemetry is attached -- a ``windows``
                   snapshot (:meth:`WindowedAggregator.snapshot`)
 ``run_finished``  ``wall_s``, ``cache_hit``, ``latency_mean``,
-                  ``throughput`` (``None`` when unavailable)
+                  ``throughput``, ``spare_escapes``, ``drain_timeouts``
+                  (``None`` when unavailable; the last two surface the
+                  spare-channel drain state machine for runs with a
+                  reconfiguration controller)
 ``stall``         ``idle_s`` since the last heartbeat (parent-emitted)
 
 The schema is versioned (:data:`OBS_SCHEMA`) and additive by convention:

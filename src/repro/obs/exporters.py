@@ -108,6 +108,8 @@ class OpenMetricsExporter:
             ("run_occupancy_flits", "occupancy"),
             ("run_cycles_per_sec", "cycles_per_sec"),
             ("run_eta_seconds", "eta_s"),
+            ("run_spare_escapes", "spare_escapes"),
+            ("run_drain_timeouts", "drain_timeouts"),
         )
         runs: Dict[str, Dict[str, object]] = snap.get("runs") or {}
         for family, key in per_run:

@@ -60,6 +60,8 @@ class RunState:
     last_ts: Optional[float] = None
     latency_mean: Optional[float] = None
     throughput: Optional[float] = None
+    spare_escapes: Optional[float] = None
+    drain_timeouts: Optional[float] = None
     windows: Optional[Dict[str, object]] = None
     last_seq: int = 0
 
@@ -94,6 +96,8 @@ class RunState:
             "last_ts": self.last_ts,
             "latency_mean": self.latency_mean,
             "throughput": self.throughput,
+            "spare_escapes": self.spare_escapes,
+            "drain_timeouts": self.drain_timeouts,
             "windows": self.windows,
         }
 
@@ -246,6 +250,10 @@ class ObservationHub:
                     st.latency_mean = float(ev["latency_mean"])
                 if ev.get("throughput") is not None:
                     st.throughput = float(ev["throughput"])
+                if ev.get("spare_escapes") is not None:
+                    st.spare_escapes = float(ev["spare_escapes"])
+                if ev.get("drain_timeouts") is not None:
+                    st.drain_timeouts = float(ev["drain_timeouts"])
                 st.eta_s = 0.0
             elif kind == STALL:
                 st.stalled = True
@@ -266,6 +274,8 @@ class ObservationHub:
                 cache_hit=result.cache_hit,
                 latency_mean=summary.get("latency_mean"),
                 throughput=summary.get("throughput"),
+                spare_escapes=summary.get("spare_escapes"),
+                drain_timeouts=summary.get("spare_drain_timeouts"),
             )
         )
 

@@ -178,4 +178,6 @@ class RunObserver:
             heartbeats=self.heartbeats,
             latency_mean=summary.get("latency_mean"),
             throughput=summary.get("throughput"),
+            spare_escapes=summary.get("spare_escapes"),
+            drain_timeouts=summary.get("spare_drain_timeouts"),
         )

@@ -252,7 +252,12 @@ def _make_control(spec: RunSpec, built, layer) -> Tuple[List[object], Optional[o
             "(e.g. own256_ft with with_reconfiguration=True)"
         )
     ctrl = make_reconfig_controller(built, epoch_cycles=cs.epoch_cycles)
-    hooks: List[object] = []
+    # The managed controller is a hook in its own right: placement stays
+    # loop-driven (managed mode), but the two-phase drain state machine
+    # needs the per-cycle clock -- while an assignment drains, the
+    # controller watches the leg's occupancy every stepped cycle and
+    # re-points the channel the moment it empties (or times out).
+    hooks: List[object] = [ctrl]
     monitor = None
     if layer is not None:
         from repro.faults import HealthMonitor
@@ -387,8 +392,14 @@ def execute_inline(
         {k: float(v) for k, v in sim.stats.retransmission_summary().items()}
     )
     summary["drained"] = float(drained)
-    if control_loop is not None:
-        summary.update(control_loop.summary_metrics())
+    # Any hook exposing flat metrics folds them into the summary (the
+    # control loop, and the reconfiguration controller's drain counters +
+    # transition-log CRC in both open-loop and managed runs). Absent-side
+    # metrics are skipped by ``repro diff``, so new keys are golden-safe.
+    for hook in hooks:
+        metrics_fn = getattr(hook, "summary_metrics", None)
+        if metrics_fn is not None:
+            summary.update(metrics_fn())
     power = {
         f"cfg{cfg}_s{scen}": _power_metrics(built, sim, cfg, scen)
         for cfg, scen in spec.power
@@ -401,6 +412,11 @@ def execute_inline(
     meta.update(fault_meta)
     if control_loop is not None:
         meta["control"] = control_loop.meta_payload()
+    from repro.core.reconfig import ReconfigurationController
+
+    for hook in hooks:
+        if isinstance(hook, ReconfigurationController):
+            meta["reconfig"] = hook.meta_payload()
     metrics: Dict[str, object] = {}
     if tracer is not None and tracer.enabled:
         tracer.finalize(sim)
